@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Design-choice ablations called out in DESIGN.md:
+ *
+ *  1. Warp-level vs per-lane bounds checking (§5 technique 1): the
+ *     min/max address-gather reduces RCache lookups by ~the number of
+ *     active lanes per instruction.
+ *  2. Type 3 (size-in-pointer) vs Type 2 (RBT lookup) addressing
+ *     (§5.3.3): Method C kernels with pow2 buffers eliminate all RCache
+ *     traffic for those accesses.
+ */
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "isa/builder.h"
+#include "workloads/kernels.h"
+
+using namespace gpushield;
+using namespace gpushield::bench;
+using namespace gpushield::workloads;
+
+namespace {
+
+WorkloadInstance
+send_style(Driver &drv, bool pow2)
+{
+    PatternParams p;
+    p.name = pow2 ? "send_pow2" : "send_plain";
+    p.inputs = 2;
+    p.base_offset = true;
+    // A runtime (attacker-controlled) guard bound defeats the static
+    // prover, so these accesses genuinely need runtime checks — Type 3
+    // when the buffers are pow2-reserved, Type 2 otherwise.
+    p.tid_guard = true;
+    WorkloadInstance w;
+    w.program = make_streaming(p);
+    w.ntid = 128;
+    w.nctaid = 96;
+    // Buffers are smaller than the grid; only the runtime guard keeps
+    // the accesses in bounds, so the prover cannot discharge them.
+    const std::uint64_t n = std::uint64_t{w.ntid} * w.nctaid;
+    const std::uint64_t elems = n - 64;
+    for (int i = 0; i < 3; ++i)
+        w.buffers.push_back(drv.create_buffer(elems * 4, false, pow2));
+    w.scalars.assign(w.program.args.size(), 0);
+    w.scalar_static.assign(w.program.args.size(), false);
+    w.scalars.back() = static_cast<std::int64_t>(elems);
+    return w;
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig cfg = nvidia_config();
+
+    // --- 1. Warp-level vs per-lane checking --------------------------
+    {
+        GpuDevice dev(cfg.mem.page_size);
+        Driver drv(dev);
+        PatternParams p;
+        p.name = "vec";
+        p.inputs = 2;
+        WorkloadInstance w;
+        w.program = make_streaming(p);
+        w.ntid = 256;
+        w.nctaid = 64;
+        const std::uint64_t n = std::uint64_t{256} * 64;
+        for (int i = 0; i < 3; ++i)
+            w.buffers.push_back(drv.create_buffer(n * 4));
+        const RunOutcome out = run_workload(cfg, drv, w, true, false);
+
+        const std::uint64_t warp_checks = out.result.stats.get("checks");
+        // A per-lane design would look up bounds once per active lane.
+        const std::uint64_t lane_checks =
+            (out.result.stats.get("loads") + out.result.stats.get("stores")) *
+            kWarpSize;
+        std::printf("=== Ablation 1: warp-level vs per-lane checking ===\n");
+        std::printf("warp-level RCache lookups:  %llu\n",
+                    static_cast<unsigned long long>(warp_checks));
+        std::printf("per-lane lookups (hypoth.): %llu\n",
+                    static_cast<unsigned long long>(lane_checks));
+        std::printf("traffic reduction:          %.1fx\n\n",
+                    static_cast<double>(lane_checks) /
+                        static_cast<double>(warp_checks));
+    }
+
+    // --- 2. Type 3 vs Type 2 addressing ------------------------------
+    {
+        std::printf("=== Ablation 2: Type 3 (size-in-pointer) vs Type 2 "
+                    "===\n");
+        GpuDevice dev2(cfg.mem.page_size);
+        Driver drv2(dev2);
+        WorkloadInstance plain = send_style(drv2, false);
+        const RunOutcome t2 = run_workload(cfg, drv2, plain, true, true);
+
+        GpuDevice dev3(cfg.mem.page_size);
+        Driver drv3(dev3);
+        WorkloadInstance pow2 = send_style(drv3, true);
+        const RunOutcome t3 = run_workload(cfg, drv3, pow2, true, true);
+
+        std::printf("Type 2 (plain alloc): %llu RCache lookups, "
+                    "%llu RBT refills, %llu cycles\n",
+                    static_cast<unsigned long long>(t2.rcache.get("lookups")),
+                    static_cast<unsigned long long>(
+                        t2.result.stats.get("rbt_refills")),
+                    static_cast<unsigned long long>(t2.result.cycles()));
+        std::printf("Type 3 (pow2 alloc):  %llu RCache lookups, "
+                    "%llu RBT refills, %llu cycles\n",
+                    static_cast<unsigned long long>(t3.rcache.get("lookups")),
+                    static_cast<unsigned long long>(
+                        t3.result.stats.get("rbt_refills")),
+                    static_cast<unsigned long long>(t3.result.cycles()));
+        std::printf("(Type 3 checks complete in the address-gather stage "
+                    "with zero metadata traffic)\n");
+    }
+
+    // --- 3. Method A (binding table) vs Method B (tagged vaddr) ------
+    {
+        std::printf("\n=== Ablation 3: Method A binding table vs Method B "
+                    "===\n");
+        auto run_mode = [&](bool use_bt) {
+            GpuDevice dev(cfg.mem.page_size);
+            Driver drv(dev);
+            KernelBuilder kb(use_bt ? "copy_bt" : "copy_vaddr");
+            kb.arg_ptr("in");
+            kb.arg_ptr("out");
+            const int gid = kb.sreg(SpecialReg::GlobalId);
+            if (use_bt) {
+                const int v = kb.ld_bt(0, gid, 4);
+                kb.st_bt(1, gid, 4, v);
+            } else {
+                const int ib = kb.ldarg(0);
+                const int v = kb.ld(kb.gep(ib, gid, 4), 4);
+                const int ob = kb.ldarg(1);
+                kb.st(kb.gep(ob, gid, 4), v, 4);
+            }
+            kb.exit();
+            WorkloadInstance w;
+            w.program = kb.finish();
+            w.ntid = 256;
+            w.nctaid = 64;
+            const std::uint64_t n = 256 * 64;
+            w.buffers.push_back(drv.create_buffer(n * 4));
+            w.buffers.push_back(drv.create_buffer(n * 4));
+            return run_workload(cfg, drv, w, true, false);
+        };
+        const RunOutcome vaddr = run_mode(false);
+        const RunOutcome bt = run_mode(true);
+        std::printf("Method B (tagged ptr): %llu RCache lookups, "
+                    "%llu cycles\n",
+                    static_cast<unsigned long long>(
+                        vaddr.rcache.get("lookups")),
+                    static_cast<unsigned long long>(vaddr.result.cycles()));
+        std::printf("Method A (bind table): %llu RCache lookups "
+                    "(%llu direct BT checks), %llu cycles\n",
+                    static_cast<unsigned long long>(bt.rcache.get("lookups")),
+                    static_cast<unsigned long long>(bt.bcu.get("bt_checks")),
+                    static_cast<unsigned long long>(bt.result.cycles()));
+        std::printf("(the BT carries exact bounds, confirming §5.3.3's "
+                    "observation that Method A\n checks are free — "
+                    "GPUShield's Type 3 gives Method C the same "
+                    "property)\n");
+    }
+    return 0;
+}

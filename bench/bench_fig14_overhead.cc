@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 14: normalized execution time of GPUShield per benchmark
+ * category on the Nvidia-like configuration, for two RCache latency
+ * settings (L1:1/L2:3 default, L1:2/L2:5 slower).
+ *
+ * Paper result: no category degrades measurably with the default
+ * latencies (all bars ~1.00, slight upticks in DM), and the slower
+ * RCache stays within a few percent.
+ */
+
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace gpushield;
+using namespace gpushield::bench;
+using namespace gpushield::workloads;
+
+int
+main()
+{
+    const GpuConfig fast = with_rcache_latency(nvidia_config(), 1, 3);
+    const GpuConfig slow = with_rcache_latency(nvidia_config(), 2, 5);
+
+    std::map<std::string, std::vector<double>> per_cat_fast, per_cat_slow;
+    std::vector<double> all_fast, all_slow;
+    CsvSink csv("fig14", {"benchmark", "category", "l1_1_l2_3",
+                          "l1_2_l2_5"});
+
+    std::printf("=== Figure 14: normalized exec. time "
+                "(over no bounds check), Nvidia ===\n");
+    std::printf("%-16s %-4s %12s %12s\n", "benchmark", "cat", "L1:1,L2:3",
+                "L1:2,L2:5");
+    for (const BenchmarkDef &def : cuda_benchmarks()) {
+        const double nf = normalized_exec_time(fast, def, false);
+        const double ns = normalized_exec_time(slow, def, false);
+        per_cat_fast[def.category].push_back(nf);
+        per_cat_slow[def.category].push_back(ns);
+        all_fast.push_back(nf);
+        all_slow.push_back(ns);
+        std::printf("%-16s %-4s %12.4f %12.4f\n", def.name.c_str(),
+                    def.category.c_str(), nf, ns);
+        csv.row({def.name, def.category, fmt(nf), fmt(ns)});
+    }
+
+    std::printf("\n%-6s %12s %12s   (paper: ~1.00 everywhere, DM worst)\n",
+                "cat", "L1:1,L2:3", "L1:2,L2:5");
+    for (const char *cat : {"ML", "LA", "GT", "GI", "PS", "IM", "DM"}) {
+        std::printf("%-6s %12.4f %12.4f\n", cat,
+                    geomean(per_cat_fast[cat]), geomean(per_cat_slow[cat]));
+    }
+    std::printf("%-6s %12.4f %12.4f\n", "geomean", geomean(all_fast),
+                geomean(all_slow));
+    return 0;
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: configuration tweaks,
+ * geometric means, and table printing.
+ */
+
+#ifndef GPUSHIELD_BENCH_BENCH_UTIL_H
+#define GPUSHIELD_BENCH_BENCH_UTIL_H
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "driver/driver.h"
+#include "sim/config.h"
+#include "workloads/runner.h"
+#include "workloads/suites.h"
+
+namespace gpushield::bench {
+
+/**
+ * Plot-ready CSV output: when the GPUSHIELD_CSV_DIR environment
+ * variable names a directory, each harness also writes its series as
+ * `<dir>/<name>.csv`; otherwise every call is a no-op.
+ */
+class CsvSink
+{
+  public:
+    CsvSink(const std::string &name,
+            const std::vector<std::string> &headers)
+    {
+        const char *dir = std::getenv("GPUSHIELD_CSV_DIR");
+        if (dir == nullptr)
+            return;
+        out_.open(std::string(dir) + "/" + name + ".csv");
+        if (!out_.is_open())
+            return;
+        row(headers);
+    }
+
+    /** Writes one comma-separated row (no-op when disabled). */
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        if (!out_.is_open())
+            return;
+        for (std::size_t i = 0; i < cells.size(); ++i)
+            out_ << (i ? "," : "") << cells[i];
+        out_ << "\n";
+    }
+
+  private:
+    std::ofstream out_;
+};
+
+/** Formats a double with fixed precision for CSV cells. */
+inline std::string
+fmt(double v, int digits = 4)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+/** Geometric mean of @p values (1.0 when empty). */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+/** Returns @p base with the given RCache latencies. */
+inline GpuConfig
+with_rcache_latency(GpuConfig base, Cycle l1, Cycle l2)
+{
+    base.rcache.l1_latency = l1;
+    base.rcache.l2_latency = l2;
+    return base;
+}
+
+/** Returns @p base with the given L1 RCache entry count. */
+inline GpuConfig
+with_l1_entries(GpuConfig base, unsigned entries)
+{
+    base.rcache.l1_entries = entries;
+    return base;
+}
+
+/**
+ * Runs one benchmark twice — no bounds checking vs GPUShield — on fresh
+ * device contexts and returns shielded/baseline cycles.
+ */
+inline double
+normalized_exec_time(const GpuConfig &cfg,
+                     const workloads::BenchmarkDef &def, bool use_static)
+{
+    const std::uint64_t page = cfg.mem.page_size;
+
+    GpuDevice dev_base(page);
+    Driver drv_base(dev_base);
+    const workloads::WorkloadInstance base_inst = def.make(drv_base);
+    const Cycle base =
+        workloads::run_workload(cfg, drv_base, base_inst, false, false)
+            .result.cycles();
+
+    GpuDevice dev_shield(page);
+    Driver drv_shield(dev_shield);
+    const workloads::WorkloadInstance shield_inst = def.make(drv_shield);
+    const Cycle shielded =
+        workloads::run_workload(cfg, drv_shield, shield_inst, true,
+                                use_static)
+            .result.cycles();
+
+    return static_cast<double>(shielded) / static_cast<double>(base);
+}
+
+} // namespace gpushield::bench
+
+#endif // GPUSHIELD_BENCH_BENCH_UTIL_H

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Reproduces the paper's security experiments end to end:
+ *
+ *  1. Fig. 4's SVM out-of-bounds writes on an unprotected GPU —
+ *     suppressed within the 512B alignment pad, silent corruption
+ *     within the 2MB page, kernel abort across the page — and the same
+ *     three cases with GPUShield enabled.
+ *  2. A pointer-forging attack against the encrypted buffer IDs.
+ *  3. The mind-control-style attack setup (function-pointer overwrite
+ *     via buffer overflow), which GPUShield squashes.
+ */
+
+#include <cstdio>
+
+#include "memsafety/attacks.h"
+#include "sim/config.h"
+
+using namespace gpushield;
+using namespace gpushield::memsafety;
+
+namespace {
+
+void
+print_case(const OverflowCase &c)
+{
+    std::printf("  %-14s corrupted=%-3s aborted=%-3s detected=%-3s "
+                "(violations=%llu)\n",
+                c.label.c_str(), c.neighbor_corrupted ? "yes" : "no",
+                c.kernel_aborted ? "yes" : "no", c.detected ? "yes" : "no",
+                static_cast<unsigned long long>(c.violations));
+}
+
+} // namespace
+
+int
+main()
+{
+    const GpuConfig cfg = nvidia_config();
+
+    std::printf("=== Fig. 4: SVM buffer overflow, no protection ===\n");
+    const Fig4Outcome plain = run_fig4(cfg, /*shield=*/false);
+    print_case(plain.within_alignment);
+    print_case(plain.within_page);
+    print_case(plain.crossing_page);
+
+    std::printf("\n=== Fig. 4: same attacks under GPUShield ===\n");
+    const Fig4Outcome shielded = run_fig4(cfg, /*shield=*/true);
+    print_case(shielded.within_alignment);
+    print_case(shielded.within_page);
+    print_case(shielded.crossing_page);
+
+    std::printf("\n=== Pointer forging (§5.2.4 / §6.1) ===\n");
+    const ForgeOutcome forged_plain = run_pointer_forging(cfg, false);
+    std::printf("  no protection: victim intact=%s detected=%s\n",
+                forged_plain.victim_intact ? "yes" : "no",
+                forged_plain.detected ? "yes" : "no");
+    const ForgeOutcome forged = run_pointer_forging(cfg, true);
+    std::printf("  GPUShield:     victim intact=%s detected=%s\n",
+                forged.victim_intact ? "yes" : "no",
+                forged.detected ? "yes" : "no");
+
+    std::printf("\n=== Mind-control attack setup phase [61] ===\n");
+    const MindControlOutcome mc_plain = run_mind_control(cfg, false);
+    std::printf("  no protection: function pointer overwritten=%s\n",
+                mc_plain.fptr_overwritten ? "yes" : "no");
+    const MindControlOutcome mc = run_mind_control(cfg, true);
+    std::printf("  GPUShield:     function pointer overwritten=%s "
+                "(detected=%s)\n",
+                mc.fptr_overwritten ? "yes" : "no",
+                mc.detected ? "yes" : "no");
+
+    const bool ok = !plain.within_alignment.neighbor_corrupted &&
+                    plain.within_page.neighbor_corrupted &&
+                    plain.crossing_page.kernel_aborted &&
+                    shielded.within_alignment.detected &&
+                    shielded.within_page.detected &&
+                    !shielded.within_page.neighbor_corrupted &&
+                    forged.victim_intact && !mc.fptr_overwritten;
+    std::printf("\n%s\n", ok ? "all attack outcomes match the paper"
+                             : "MISMATCH with expected outcomes");
+    return ok ? 0 : 1;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Compiler-side tooling example: disassembles a kernel, runs the static
+ * bounds analysis (§5.3), and prints the Bounds-Analysis Table the way
+ * Fig. 5 shows it — per-access verdicts plus the pointer-type decision
+ * (Type 1 unprotected / Type 2 tagged / Type 3 sized) for every base.
+ *
+ * The demo kernel mirrors Fig. 5's example: three buffers A, B, C and a
+ * runtime scalar D; A is accessed safely, B with a huge constant offset
+ * (compile-time error), C with an attacker-controlled index (runtime
+ * check required).
+ */
+
+#include <cstdio>
+
+#include "compiler/static_analysis.h"
+#include "isa/builder.h"
+
+using namespace gpushield;
+
+int
+main()
+{
+    // Kernel(A, B, C, D):
+    //   A[tid]       = 1;          -- provably safe
+    //   B[tid + off] = 2 + A[tid]; -- off = 1<<32: definite overflow
+    //   C[tid + D]   = 3;          -- D is runtime input: unknown
+    KernelBuilder b("fig5_kernel");
+    const int a = b.arg_ptr("A");
+    const int bb = b.arg_ptr("B");
+    const int c = b.arg_ptr("C");
+    const int d = b.arg_scalar("D");
+
+    const int tid = b.sreg(SpecialReg::GlobalId);
+    const int pa = b.ldarg(a);
+    b.st(b.gep(pa, tid, 4), b.mov_imm(1), 4);
+    const int va = b.ld(b.gep(pa, tid, 4), 4);
+
+    const int pb = b.ldarg(bb);
+    const int off = b.mov_imm(std::int64_t{1} << 32);
+    const int bidx = b.alu(Op::Add, tid, off);
+    const int payload = b.alui(Op::Add, va, 2);
+    b.st(b.gep(pb, bidx, 4), payload, 4);
+
+    const int pc = b.ldarg(c);
+    const int vd = b.ldarg(d);
+    const int cidx = b.alu(Op::Add, tid, vd);
+    b.st(b.gep(pc, cidx, 4), b.mov_imm(3), 4);
+    b.exit();
+
+    const KernelProgram prog = b.finish();
+    std::printf("=== Disassembly ===\n%s\n", prog.disassemble().c_str());
+
+    // Launch facts: 1024B buffers, 256 threads (like Fig. 5's host code;
+    // D comes from argv so it is not statically known).
+    StaticLaunchInfo info;
+    info.ntid = 256;
+    info.nctaid = 1;
+    info.arg_buffer_sizes = {1024, 1024, 1024, 0};
+    info.arg_buffer_pow2 = {false, false, false, false};
+    info.scalar_values = {std::nullopt, std::nullopt, std::nullopt,
+                          std::nullopt};
+
+    const BoundsAnalysisTable bat = analyze_kernel(prog, info);
+    std::printf("=== Bounds-Analysis Table (Fig. 5) ===\n%s\n",
+                bat.to_string().c_str());
+
+    const auto errors = bat.static_errors();
+    std::printf("compile-time overflow reports: %zu", errors.size());
+    for (const int pc_err : errors)
+        std::printf("  (pc %d)", pc_err);
+    std::printf("\nstatically safe fraction: %.0f%%\n",
+                bat.static_safe_fraction() * 100);
+    return errors.size() == 1 ? 0 : 1;
+}

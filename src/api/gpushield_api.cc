@@ -1,0 +1,94 @@
+#include "api/gpushield_api.h"
+
+#include "common/log.h"
+
+namespace gpushield::api {
+
+Context::Context(const GpuConfig &config, std::uint64_t seed)
+    : config_(config), device_(config.mem.page_size), driver_(device_, seed)
+{
+}
+
+Buffer
+Context::malloc(std::uint64_t bytes, bool read_only, bool pow2,
+                std::string label)
+{
+    return driver_.create_buffer(bytes, read_only, pow2, std::move(label));
+}
+
+void
+Context::upload(Buffer buffer, const void *data, std::size_t len,
+                std::uint64_t offset)
+{
+    driver_.upload(buffer, data, len, offset);
+}
+
+void
+Context::download(Buffer buffer, void *out, std::size_t len,
+                  std::uint64_t offset) const
+{
+    driver_.download(buffer, out, len, offset);
+}
+
+VAddr
+Context::address_of(Buffer buffer) const
+{
+    return driver_.region(buffer).base;
+}
+
+LaunchResult
+Context::launch(const KernelProgram &program, Grid grid,
+                const std::vector<Arg> &args, const LaunchOptions &options)
+{
+    if (args.size() != program.args.size())
+        fatal("api::launch: argument count mismatch (" +
+              std::to_string(args.size()) + " given, " +
+              std::to_string(program.args.size()) + " declared)");
+
+    LaunchConfig cfg;
+    cfg.program = &program;
+    cfg.ntid = grid.threads_per_block;
+    cfg.nctaid = grid.blocks;
+    cfg.shield_enabled = options.shield;
+    cfg.use_static_analysis = options.static_analysis;
+    cfg.replace_sw_checks = options.replace_sw_checks;
+    cfg.heap_bytes = options.heap_bytes;
+    cfg.scalars.assign(args.size(), 0);
+    cfg.scalar_static.assign(args.size(), false);
+
+    // Buffers bind positionally: the i-th pointer argument takes the
+    // i-th buffer Arg. KernelArgSpec::buffer_index already encodes the
+    // slot when the builder declared the args in order.
+    for (std::size_t i = 0; i < args.size(); ++i) {
+        const bool declared_ptr = program.args[i].is_pointer;
+        if (declared_ptr != args[i].is_buffer)
+            fatal("api::launch: argument " + std::to_string(i) +
+                  (declared_ptr ? " must be a buffer" : " must be a scalar"));
+        if (args[i].is_buffer) {
+            cfg.buffers.resize(
+                std::max<std::size_t>(cfg.buffers.size(),
+                                      program.args[i].buffer_index + 1));
+            cfg.buffers[program.args[i].buffer_index] = args[i].buffer;
+        } else {
+            cfg.scalars[i] = args[i].scalar;
+            cfg.scalar_static[i] = args[i].scalar_static;
+        }
+    }
+
+    Gpu gpu(config_, driver_);
+    const std::size_t idx =
+        gpu.launch(driver_.launch(cfg), options.core_mask);
+    gpu.run();
+
+    LaunchResult result;
+    const KernelResult kr = gpu.result(idx);
+    result.cycles = kr.cycles();
+    result.aborted = kr.aborted;
+    result.violations = kr.violations;
+    result.stats = kr.stats;
+    result.l1_rcache_hit_rate = gpu.rcache_l1_hit_rate();
+    result.canaries = driver_.finish(gpu.launch_state(idx));
+    return result;
+}
+
+} // namespace gpushield::api

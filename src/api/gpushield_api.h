@@ -1,0 +1,130 @@
+/**
+ * @file
+ * High-level host API — the CUDA-runtime-like facade over the full
+ * stack. A downstream user who just wants "run my kernel under
+ * GPUShield" uses this and never touches the driver, simulator, or
+ * launch plumbing directly:
+ *
+ *   gpushield::api::Context ctx;                  // Nvidia-like GPU
+ *   auto a = ctx.malloc(n * 4);
+ *   ctx.upload(a, host_data, n * 4);
+ *   auto r = ctx.launch(program, {256, 64}, {api::arg(a), api::arg(n)});
+ *   if (!r.violations.empty()) ...                // attack caught
+ *   ctx.download(a, host_data, n * 4);
+ */
+
+#ifndef GPUSHIELD_API_GPUSHIELD_API_H
+#define GPUSHIELD_API_GPUSHIELD_API_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/driver.h"
+#include "sim/config.h"
+#include "sim/gpu.h"
+
+namespace gpushield::api {
+
+/** Opaque device-buffer handle. */
+using Buffer = BufferHandle;
+
+/** Kernel grid shape. */
+struct Grid
+{
+    std::uint32_t threads_per_block = 256;
+    std::uint32_t blocks = 1;
+};
+
+/** One kernel argument: a buffer or a scalar. */
+struct Arg
+{
+    bool is_buffer = false;
+    Buffer buffer{};
+    std::int64_t scalar = 0;
+    bool scalar_static = false;
+};
+
+/** Binds a buffer argument. */
+inline Arg
+arg(Buffer buffer)
+{
+    Arg a;
+    a.is_buffer = true;
+    a.buffer = buffer;
+    return a;
+}
+
+/** Binds a scalar argument. @p statically_known marks host literals the
+ *  static analysis may rely on (Fig. 5's host-code analysis). */
+inline Arg
+arg(std::int64_t scalar, bool statically_known = false)
+{
+    Arg a;
+    a.scalar = scalar;
+    a.scalar_static = statically_known;
+    return a;
+}
+
+/** Per-launch protection options. */
+struct LaunchOptions
+{
+    bool shield = true;            //!< GPUShield on
+    bool static_analysis = true;   //!< elide proven-safe checks
+    bool replace_sw_checks = false;//!< §6.4 guard replacement
+    std::uint64_t heap_bytes = 0;  //!< device-malloc limit
+    std::uint64_t core_mask = ~std::uint64_t{0};
+};
+
+/** Result of a synchronous launch. */
+struct LaunchResult
+{
+    Cycle cycles = 0;
+    bool aborted = false;
+    std::vector<Violation> violations;
+    std::vector<CanaryReport> canaries;
+    StatSet stats;
+    double l1_rcache_hit_rate = 0.0;
+};
+
+/**
+ * A GPU context: device memory + driver + one simulated GPU. Launches
+ * are synchronous (each runs the cycle loop to completion).
+ */
+class Context
+{
+  public:
+    explicit Context(const GpuConfig &config = nvidia_config(),
+                     std::uint64_t seed = 0xD81EE5ull);
+
+    /// @name Memory management
+    /// @{
+    Buffer malloc(std::uint64_t bytes, bool read_only = false,
+                  bool pow2 = false, std::string label = {});
+    void upload(Buffer buffer, const void *data, std::size_t len,
+                std::uint64_t offset = 0);
+    void download(Buffer buffer, void *out, std::size_t len,
+                  std::uint64_t offset = 0) const;
+    /** Buffer's device virtual address (for layout-aware tests). */
+    VAddr address_of(Buffer buffer) const;
+    /// @}
+
+    /** Launches @p program synchronously and returns the outcome. */
+    LaunchResult launch(const KernelProgram &program, Grid grid,
+                        const std::vector<Arg> &args,
+                        const LaunchOptions &options = {});
+
+    const GpuConfig &config() const { return config_; }
+    Driver &driver() { return driver_; }
+    GpuDevice &device() { return device_; }
+
+  private:
+    GpuConfig config_;
+    GpuDevice device_;
+    Driver driver_;
+};
+
+} // namespace gpushield::api
+
+#endif // GPUSHIELD_API_GPUSHIELD_API_H

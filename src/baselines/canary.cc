@@ -1,0 +1,59 @@
+#include "baselines/canary.h"
+
+#include <vector>
+
+namespace gpushield::baselines {
+
+CanaryGuard::CanaryGuard(Driver &driver, std::uint32_t canary_bytes)
+    : driver_(driver), canary_bytes_(canary_bytes)
+{
+}
+
+BufferHandle
+CanaryGuard::create_guarded(std::uint64_t size, std::string label)
+{
+    // Allocate user bytes + trailing canary in one region so the canary
+    // is adjacent (the tool intercepts the allocation call).
+    const BufferHandle handle =
+        driver_.create_buffer(size + canary_bytes_, false, false,
+                              std::move(label));
+    guarded_.push_back(Guarded{handle, size});
+    const std::vector<std::uint8_t> fill(canary_bytes_, kPattern);
+    driver_.upload(handle, fill.data(), fill.size(), size);
+    return handle;
+}
+
+void
+CanaryGuard::arm()
+{
+    const std::vector<std::uint8_t> fill(canary_bytes_, kPattern);
+    for (const Guarded &g : guarded_)
+        driver_.upload(g.handle, fill.data(), fill.size(), g.user_size);
+}
+
+std::vector<CanaryHit>
+CanaryGuard::scan() const
+{
+    std::vector<CanaryHit> hits;
+    std::vector<std::uint8_t> bytes(canary_bytes_);
+    for (std::size_t i = 0; i < guarded_.size(); ++i) {
+        const Guarded &g = guarded_[i];
+        driver_.download(g.handle, bytes.data(), bytes.size(), g.user_size);
+        CanaryHit hit;
+        for (std::uint32_t off = 0; off < canary_bytes_; ++off) {
+            if (bytes[off] != kPattern) {
+                if (hit.bytes == 0)
+                    hit.address =
+                        driver_.region(g.handle).base + g.user_size + off;
+                ++hit.bytes;
+            }
+        }
+        if (hit.bytes > 0) {
+            hit.buffer_index = static_cast<int>(i);
+            hits.push_back(hit);
+        }
+    }
+    return hits;
+}
+
+} // namespace gpushield::baselines

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Functional canary-based overflow detection (clArmor / GMOD class).
+ *
+ * Canary tools surround each buffer with secret bytes and scan them
+ * after (or during) kernel execution. They detect adjacent overflow
+ * *writes* but — as §4.1 stresses — miss (1) all illegal reads and
+ * (2) non-adjacent accesses that jump over the canary region. The tests
+ * demonstrate exactly those blind spots versus GPUShield.
+ */
+
+#ifndef GPUSHIELD_BASELINES_CANARY_H
+#define GPUSHIELD_BASELINES_CANARY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/driver.h"
+
+namespace gpushield::baselines {
+
+/** One detected canary corruption. */
+struct CanaryHit
+{
+    int buffer_index = -1;     //!< index into the guard's buffer list
+    VAddr address = 0;         //!< first corrupted canary byte
+    std::uint64_t bytes = 0;   //!< corrupted byte count
+};
+
+/**
+ * Canary guard over a set of driver buffers. Buffers must be created
+ * through create_guarded(); it reserves `canary_bytes` after the user
+ * region (clArmor intercepts allocation the same way).
+ */
+class CanaryGuard
+{
+  public:
+    CanaryGuard(Driver &driver, std::uint32_t canary_bytes = 128);
+
+    /** Allocates size + canary bytes; fills the canary; returns the
+     *  user-visible handle. */
+    BufferHandle create_guarded(std::uint64_t size, std::string label = {});
+
+    /** Re-arms every canary (before a kernel launch). */
+    void arm();
+
+    /** Scans all canaries (after kernel completion). */
+    std::vector<CanaryHit> scan() const;
+
+    std::uint32_t canary_bytes() const { return canary_bytes_; }
+
+  private:
+    struct Guarded
+    {
+        BufferHandle handle;
+        std::uint64_t user_size = 0;
+    };
+
+    Driver &driver_;
+    std::uint32_t canary_bytes_;
+    std::vector<Guarded> guarded_;
+
+    static constexpr std::uint8_t kPattern = 0x5C;
+};
+
+} // namespace gpushield::baselines
+
+#endif // GPUSHIELD_BASELINES_CANARY_H

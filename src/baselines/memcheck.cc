@@ -1,0 +1,63 @@
+#include "baselines/memcheck.h"
+
+namespace gpushield::baselines {
+
+SwToolModel
+memcheck_model()
+{
+    SwToolModel m;
+    m.name = "CUDA-MEMCHECK";
+    // JIT instrumentation inflates every memory instruction into a long
+    // instrumented sequence with metadata lookups and defeats most
+    // latency hiding; tool setup/validation is charged per launch.
+    m.extra_cycles_per_mem = 1'400;
+    m.extra_transactions = 2;
+    m.per_launch_cycles = 40'000;
+    m.per_buffer_cycles = 0;
+    m.per_kb_cycles = 0;
+    return m;
+}
+
+SwToolModel
+clarmor_model()
+{
+    SwToolModel m;
+    m.name = "clArmor";
+    // No in-kernel cost; the host reads back and scans every buffer's
+    // canary region after each kernel completes — cost scales with the
+    // footprint plus a small per-launch synchronization.
+    m.extra_cycles_per_mem = 0;
+    m.extra_transactions = 0;
+    m.per_launch_cycles = 5'000;
+    m.per_buffer_cycles = 1'000;
+    m.per_kb_cycles = 70;
+    return m;
+}
+
+SwToolModel
+gmod_model()
+{
+    SwToolModel m;
+    m.name = "GMOD";
+    // Concurrent guard threads poll canaries (light in-kernel traffic);
+    // the dominating cost is the mandatory constructor/destructor pair
+    // around every kernel launch plus per-buffer registration.
+    m.extra_cycles_per_mem = 1;
+    m.extra_transactions = 1;
+    m.per_launch_cycles = 50'000;
+    m.per_buffer_cycles = 8'000;
+    m.per_kb_cycles = 0;
+    return m;
+}
+
+Cycle
+host_overhead(const SwToolModel &model, unsigned num_buffers,
+              std::uint64_t buffer_kb, unsigned launches)
+{
+    return static_cast<Cycle>(launches) *
+           (model.per_launch_cycles +
+            static_cast<Cycle>(num_buffers) * model.per_buffer_cycles +
+            buffer_kb * model.per_kb_cycles);
+}
+
+} // namespace gpushield::baselines

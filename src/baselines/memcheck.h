@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Software bounds/overflow tool models (Fig. 19 baselines).
+ *
+ * The paper compares GPUShield against three software tools whose
+ * mechanisms have very different cost structures:
+ *
+ *  - CUDA-MEMCHECK: JIT binary instrumentation; every load/store gains
+ *    instrumented instructions plus metadata lookups, and caching is
+ *    effectively defeated — 72.3x average, 224x worst (streamcluster).
+ *  - clArmor: canary regions around buffers checked by the host after
+ *    every kernel — 3.1x average; cost scales with buffers and launches.
+ *  - GMOD: guard threads polling canaries plus mandatory constructor/
+ *    destructor work on every launch — 1.5x average, 109x for
+ *    launch-heavy streamcluster.
+ *
+ * Each model maps the tool's mechanism onto simulator knobs (in-kernel
+ * instrumentation cycles and shadow traffic) plus an analytic host-side
+ * per-launch/per-buffer cost. The knobs were calibrated so the *shape*
+ * of Fig. 19 holds (instrumentation >> canary >> hardware); absolute
+ * factors depend on the authors' testbed.
+ */
+
+#ifndef GPUSHIELD_BASELINES_MEMCHECK_H
+#define GPUSHIELD_BASELINES_MEMCHECK_H
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace gpushield::baselines {
+
+/** Cost-model parameters for one software tool. */
+struct SwToolModel
+{
+    std::string name;
+    /** Extra issue-stage occupancy per global memory instruction
+     *  (instrumented instruction stream). */
+    Cycle extra_cycles_per_mem = 0;
+    /** Extra metadata transactions per memory instruction. */
+    unsigned extra_transactions = 0;
+    /** Host-side cost charged once per kernel launch (JIT setup,
+     *  ctor/dtor, canary scan dispatch), in GPU cycles. */
+    Cycle per_launch_cycles = 0;
+    /** Host-side cost per buffer per launch (canary check). */
+    Cycle per_buffer_cycles = 0;
+    /** Host-side cost per KB of buffer data per launch (canary scans
+     *  read device memory back, so they scale with footprint). */
+    Cycle per_kb_cycles = 0;
+};
+
+/** CUDA-MEMCHECK model. */
+SwToolModel memcheck_model();
+
+/** clArmor model. */
+SwToolModel clarmor_model();
+
+/** GMOD model. */
+SwToolModel gmod_model();
+
+/**
+ * Host-side overhead of running @p launches launches of a kernel with
+ * @p num_buffers buffers totalling @p buffer_kb KB under @p model.
+ */
+Cycle host_overhead(const SwToolModel &model, unsigned num_buffers,
+                    std::uint64_t buffer_kb, unsigned launches);
+
+} // namespace gpushield::baselines
+
+#endif // GPUSHIELD_BASELINES_MEMCHECK_H

@@ -1,0 +1,15 @@
+#include "baselines/swcheck.h"
+
+namespace gpushield::baselines {
+
+double
+sw_check_overhead(Cycle guarded_cycles, Cycle plain_cycles)
+{
+    if (plain_cycles == 0)
+        return 0.0;
+    return static_cast<double>(guarded_cycles) /
+               static_cast<double>(plain_cycles) -
+           1.0;
+}
+
+} // namespace gpushield::baselines

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Software if-clause bounds checking (§6.4).
+ *
+ * GPU programs routinely guard accesses with `if (tid < n)`; the paper
+ * measures up to 76% overhead from the extra instructions and the
+ * control-flow divergence the guard introduces. The workload patterns
+ * expose a `tid_guard` knob; this module provides the comparison helper
+ * used by the ablation bench and tests.
+ */
+
+#ifndef GPUSHIELD_BASELINES_SWCHECK_H
+#define GPUSHIELD_BASELINES_SWCHECK_H
+
+#include "common/types.h"
+
+namespace gpushield::baselines {
+
+/** Overhead of @p guarded_cycles relative to @p plain_cycles (e.g. 0.76
+ *  for the paper's worst case). */
+double sw_check_overhead(Cycle guarded_cycles, Cycle plain_cycles);
+
+} // namespace gpushield::baselines
+
+#endif // GPUSHIELD_BASELINES_SWCHECK_H

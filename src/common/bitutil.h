@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef GPUSHIELD_COMMON_BITUTIL_H
+#define GPUSHIELD_COMMON_BITUTIL_H
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace gpushield {
+
+/** Returns true when @p v is a power of two (and non-zero). */
+constexpr bool
+is_pow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Rounds @p v up to the next multiple of @p align (align must be pow2). */
+constexpr std::uint64_t
+align_up(std::uint64_t v, std::uint64_t align)
+{
+    assert(is_pow2(align));
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Rounds @p v down to the previous multiple of @p align (pow2). */
+constexpr std::uint64_t
+align_down(std::uint64_t v, std::uint64_t align)
+{
+    assert(is_pow2(align));
+    return v & ~(align - 1);
+}
+
+/** floor(log2(v)) for v > 0. */
+constexpr unsigned
+log2_floor(std::uint64_t v)
+{
+    assert(v != 0);
+    return 63 - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** ceil(log2(v)) for v > 0. */
+constexpr unsigned
+log2_ceil(std::uint64_t v)
+{
+    assert(v != 0);
+    return v == 1 ? 0 : log2_floor(v - 1) + 1;
+}
+
+/** Extracts bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    assert(width <= 64 && lo < 64);
+    const std::uint64_t mask = width >= 64 ? ~std::uint64_t{0}
+                                           : (std::uint64_t{1} << width) - 1;
+    return (v >> lo) & mask;
+}
+
+/** Returns @p v with bits [lo, lo+width) replaced by @p field. */
+constexpr std::uint64_t
+insert_bits(std::uint64_t v, unsigned lo, unsigned width, std::uint64_t field)
+{
+    assert(width < 64 && lo < 64);
+    const std::uint64_t mask = ((std::uint64_t{1} << width) - 1) << lo;
+    return (v & ~mask) | ((field << lo) & mask);
+}
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMMON_BITUTIL_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Cycle-ordered event queue driving the timing simulation.
+ *
+ * Events scheduled for the same cycle execute in scheduling order
+ * (a monotonically increasing sequence number breaks ties), which keeps
+ * simulations deterministic.
+ */
+
+#ifndef GPUSHIELD_COMMON_EVENT_QUEUE_H
+#define GPUSHIELD_COMMON_EVENT_QUEUE_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace gpushield {
+
+/** Min-heap of (cycle, seq) ordered callbacks. */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    /** Schedules @p cb to run at absolute cycle @p when (>= now()). */
+    void
+    schedule(Cycle when, Callback cb)
+    {
+        if (when < now_)
+            panic("EventQueue: scheduling into the past");
+        heap_.push(Event{when, next_seq_++, std::move(cb)});
+    }
+
+    /** Schedules @p cb @p delta cycles from now. */
+    void
+    schedule_in(Cycle delta, Callback cb)
+    {
+        schedule(now_ + delta, std::move(cb));
+    }
+
+    /** Current simulation cycle. */
+    Cycle now() const { return now_; }
+
+    /** True when no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Cycle of the earliest pending event; kCycleMax when empty. */
+    Cycle
+    next_event_cycle() const
+    {
+        return heap_.empty() ? kCycleMax : heap_.top().when;
+    }
+
+    /**
+     * Runs all events scheduled at or before @p until, advancing now().
+     * Afterwards now() == until.
+     */
+    void
+    run_until(Cycle until)
+    {
+        while (!heap_.empty() && heap_.top().when <= until) {
+            Event ev = heap_.top();
+            heap_.pop();
+            now_ = ev.when;
+            ev.cb();
+        }
+        now_ = until;
+    }
+
+    /** Advances the clock by one cycle, running any due events. */
+    void step() { run_until(now_ + 1); }
+
+  private:
+    struct Event
+    {
+        Cycle when;
+        std::uint64_t seq;
+        Callback cb;
+
+        bool
+        operator>(const Event &o) const
+        {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMMON_EVENT_QUEUE_H

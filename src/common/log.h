@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal logging / error-termination helpers in the gem5 spirit:
+ * fatal() for user errors, panic() for internal invariant violations.
+ */
+
+#ifndef GPUSHIELD_COMMON_LOG_H
+#define GPUSHIELD_COMMON_LOG_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace gpushield {
+
+namespace detail {
+
+[[noreturn]] inline void
+die(const char *kind, const std::string &msg, bool abort_process)
+{
+    std::fprintf(stderr, "%s: %s\n", kind, msg.c_str());
+    if (abort_process)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+/**
+ * Terminates the process due to a user-level error (bad configuration,
+ * invalid workload parameters). Exits with status 1.
+ */
+[[noreturn]] inline void
+fatal(const std::string &msg)
+{
+    detail::die("fatal", msg, /*abort_process=*/false);
+}
+
+/**
+ * Terminates the process due to an internal simulator bug. Calls abort()
+ * so that a core dump / debugger break is possible.
+ */
+[[noreturn]] inline void
+panic(const std::string &msg)
+{
+    detail::die("panic", msg, /*abort_process=*/true);
+}
+
+/** Non-fatal warning to stderr. */
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+/** Informational message to stderr. */
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMMON_LOG_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All randomness in the simulator (driver ID assignment, per-kernel keys,
+ * workload data) flows from seeded Xoshiro256** instances so that every
+ * test and benchmark run is bit-reproducible.
+ */
+
+#ifndef GPUSHIELD_COMMON_RNG_H
+#define GPUSHIELD_COMMON_RNG_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace gpushield {
+
+/** SplitMix64 step, used to expand a single seed into generator state. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Xoshiro256** generator. Small, fast, and good enough for simulation
+ * randomness; not cryptographic (the ID cipher provides that layer).
+ */
+class Rng
+{
+  public:
+    /** Constructs a generator from a single 64-bit seed. */
+    explicit Rng(std::uint64_t seed = 0x5EEDBA5Eull) { reseed(seed); }
+
+    /** Re-initializes generator state from @p seed. */
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : s_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). @p bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        assert(bound != 0);
+        // Rejection sampling to avoid modulo bias.
+        const std::uint64_t threshold = -bound % bound;
+        for (;;) {
+            const std::uint64_t r = next64();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        assert(lo <= hi);
+        const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(span == 0 ? next64() : below(span));
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw with probability @p p. */
+    bool chance(double p) { return uniform() < p; }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4] = {};
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMMON_RNG_H

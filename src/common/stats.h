@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Lightweight named-statistics registry.
+ *
+ * Components register counters under hierarchical dotted names
+ * (e.g. "core0.lsu.coalesced_transactions"); harnesses query or dump them
+ * after simulation. The registry is intentionally simple: scalar counters
+ * and derived ratios cover everything the paper's figures need.
+ */
+
+#ifndef GPUSHIELD_COMMON_STATS_H
+#define GPUSHIELD_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace gpushield {
+
+/** A collection of named scalar counters. */
+class StatSet
+{
+  public:
+    /** Adds @p delta to counter @p name, creating it at zero if absent. */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    /** Sets counter @p name to @p value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Returns the value of @p name, or 0 when never touched. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        const auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Returns get(num)/get(den) as a double; 0 when the denominator is 0. */
+    double
+    ratio(const std::string &num, const std::string &den) const
+    {
+        const auto d = get(den);
+        return d == 0 ? 0.0 : static_cast<double>(get(num)) / static_cast<double>(d);
+    }
+
+    /** Merges all counters of @p other into this set. */
+    void
+    merge(const StatSet &other)
+    {
+        for (const auto &[name, value] : other.counters_)
+            counters_[name] += value;
+    }
+
+    /** Removes all counters. */
+    void clear() { counters_.clear(); }
+
+    /** Read-only view for iteration / dumping. */
+    const std::map<std::string, std::uint64_t> &counters() const { return counters_; }
+
+    /** Writes "name value" lines, sorted by name. */
+    void
+    dump(std::ostream &os, const std::string &prefix = "") const
+    {
+        for (const auto &[name, value] : counters_)
+            os << prefix << name << " " << value << "\n";
+    }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMMON_STATS_H

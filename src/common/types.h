@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Fundamental type aliases and constants shared across the GPUShield
+ * simulator stack.
+ */
+
+#ifndef GPUSHIELD_COMMON_TYPES_H
+#define GPUSHIELD_COMMON_TYPES_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace gpushield {
+
+/** Simulation time expressed in core clock cycles. */
+using Cycle = std::uint64_t;
+
+/** 64-bit virtual address as seen by GPU kernels (tag bits included). */
+using VAddr = std::uint64_t;
+
+/** Physical (device memory) address. */
+using PAddr = std::uint64_t;
+
+/** Identifier of a memory buffer as assigned by the GPU driver (14-bit). */
+using BufferId = std::uint16_t;
+
+/** Identifier of a running kernel (12-bit in RCache entries). */
+using KernelId = std::uint16_t;
+
+/** Identifier of a warp (sub-workgroup) within a core. */
+using WarpId = std::uint32_t;
+
+/** Identifier of a shader core (SM / EU cluster). */
+using CoreId = std::uint32_t;
+
+/** Number of bits of a canonical GPU virtual address (paper: 48-bit VA). */
+inline constexpr unsigned kVAddrBits = 48;
+
+/** Mask selecting the canonical address bits of a tagged pointer. */
+inline constexpr std::uint64_t kVAddrMask = (std::uint64_t{1} << kVAddrBits) - 1;
+
+/** Number of buffer-ID bits embedded in a tagged pointer (paper: 14). */
+inline constexpr unsigned kBufferIdBits = 14;
+
+/** Number of distinct buffer IDs / RBT entries (2^14). */
+inline constexpr std::size_t kNumBufferIds = std::size_t{1} << kBufferIdBits;
+
+/** Mask for a 14-bit buffer ID. */
+inline constexpr std::uint16_t kBufferIdMask = static_cast<std::uint16_t>(kNumBufferIds - 1);
+
+/** Default small page size (4KB). */
+inline constexpr std::uint64_t kPageSize4K = 4096;
+
+/** Large page size used by the Nvidia configuration (2MB). */
+inline constexpr std::uint64_t kPageSize2M = 2 * 1024 * 1024;
+
+/** Default allocation alignment observed on Nvidia CUDA (512B). */
+inline constexpr std::uint64_t kAllocAlign = 512;
+
+/** Cache line / coalesced memory transaction size in bytes. */
+inline constexpr std::uint64_t kLineSize = 128;
+
+/** Number of lanes in a sub-workgroup (CUDA warp). */
+inline constexpr unsigned kWarpSize = 32;
+
+/** An invalid / sentinel cycle value. */
+inline constexpr Cycle kCycleMax = ~Cycle{0};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMMON_TYPES_H

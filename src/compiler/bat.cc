@@ -1,0 +1,93 @@
+#include "compiler/bat.h"
+
+#include <sstream>
+
+namespace gpushield {
+
+namespace {
+
+const char *
+verdict_name(Verdict v)
+{
+    switch (v) {
+      case Verdict::InBounds: return "no";
+      case Verdict::OutOfBounds: return "yes";
+      case Verdict::Unknown: return "unknown";
+    }
+    return "?";
+}
+
+const char *
+base_kind_name(BaseKind k)
+{
+    switch (k) {
+      case BaseKind::Arg: return "arg";
+      case BaseKind::Local: return "local";
+      case BaseKind::Heap: return "heap";
+      case BaseKind::Unknown: return "?";
+    }
+    return "?";
+}
+
+const char *
+ptr_type_name(PtrTypeRec t)
+{
+    switch (t) {
+      case PtrTypeRec::Unprotected: return "Type1";
+      case PtrTypeRec::TaggedId: return "Type2";
+      case PtrTypeRec::SizedWindow: return "Type3";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::vector<int>
+BoundsAnalysisTable::static_errors() const
+{
+    std::vector<int> pcs;
+    for (const BatEntry &e : entries)
+        if (e.verdict == Verdict::OutOfBounds)
+            pcs.push_back(e.pc);
+    return pcs;
+}
+
+double
+BoundsAnalysisTable::static_safe_fraction() const
+{
+    if (entries.empty())
+        return 0.0;
+    std::size_t safe = 0;
+    for (const BatEntry &e : entries)
+        if (e.verdict == Verdict::InBounds)
+            ++safe;
+    return static_cast<double>(safe) / static_cast<double>(entries.size());
+}
+
+std::string
+BoundsAnalysisTable::to_string() const
+{
+    std::ostringstream os;
+    os << "pc\tbase\tld/st\tmode\toffset\tout-of-bounds\n";
+    for (const BatEntry &e : entries) {
+        os << e.pc << "\t" << base_kind_name(e.base.kind);
+        if (e.base.index >= 0)
+            os << e.base.index;
+        os << "\t" << (e.is_store ? "store" : "load") << "\t"
+           << (e.base_offset_mode ? "base+off" : "vaddr") << "\t";
+        if (e.offsets_known)
+            os << "[" << e.off_lo << "," << e.off_end << ")";
+        else
+            os << "?";
+        os << "\t" << verdict_name(e.verdict) << "\n";
+    }
+    for (const auto &[ref, type] : pointer_types) {
+        os << base_kind_name(ref.kind);
+        if (ref.index >= 0)
+            os << ref.index;
+        os << " -> " << ptr_type_name(type) << "\n";
+    }
+    return os.str();
+}
+
+} // namespace gpushield

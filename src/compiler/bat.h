@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Bounds-Analysis Table (BAT) — the compiler → driver contract (Fig. 9).
+ *
+ * The static pass classifies every global-memory instruction and every
+ * base pointer of a kernel. The table travels with the kernel binary;
+ * at launch the driver uses it to pick each pointer's Type (Fig. 7) and
+ * to mark statically-proven-safe instructions so the BCU skips them.
+ */
+
+#ifndef GPUSHIELD_COMPILER_BAT_H
+#define GPUSHIELD_COMPILER_BAT_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gpushield {
+
+/** Static verdict for one memory instruction (Fig. 5's analysis table). */
+enum class Verdict : std::uint8_t {
+    InBounds,    //!< proven safe: no runtime check needed (→ Type 1)
+    OutOfBounds, //!< proven violation: report at compile time
+    Unknown,     //!< needs a runtime check
+};
+
+/** What a memory instruction's base pointer refers to. */
+enum class BaseKind : std::uint8_t { Arg, Local, Heap, Unknown };
+
+/** Identifies a base pointer within a kernel. */
+struct BaseRef
+{
+    BaseKind kind = BaseKind::Unknown;
+    int index = -1; //!< arg position / local index; -1 for heap/unknown
+
+    bool
+    operator<(const BaseRef &o) const
+    {
+        return kind != o.kind ? kind < o.kind : index < o.index;
+    }
+    bool
+    operator==(const BaseRef &o) const
+    {
+        return kind == o.kind && index == o.index;
+    }
+};
+
+/** Pointer type the driver should materialize (Fig. 7). */
+enum class PtrTypeRec : std::uint8_t {
+    Unprotected, //!< Type 1: all uses statically safe
+    TaggedId,    //!< Type 2: encrypted buffer ID
+    SizedWindow, //!< Type 3: log2-size in pointer (Method C only)
+};
+
+/** One BAT row: a static global-memory instruction. */
+struct BatEntry
+{
+    int pc = -1;
+    BaseRef base;
+    bool is_store = false;
+    bool base_offset_mode = false; //!< Method C addressing
+    Verdict verdict = Verdict::Unknown;
+    /** Statically-derived byte-offset range relative to the base
+     *  (valid when the base was identified). */
+    std::int64_t off_lo = 0;
+    std::int64_t off_end = 0; //!< one past the last byte
+    bool offsets_known = false;
+};
+
+/** The full analysis result attached to a kernel binary. */
+struct BoundsAnalysisTable
+{
+    std::vector<BatEntry> entries;
+    std::map<BaseRef, PtrTypeRec> pointer_types;
+
+    /** Rows with a definite compile-time overflow (reported to the user). */
+    std::vector<int> static_errors() const;
+
+    /** Fraction of rows proven InBounds (the paper's "bounds checking
+     *  reduction" is the dynamic version; this is its static analogue). */
+    double static_safe_fraction() const;
+
+    /** Human-readable dump (Fig. 5 right-hand table). */
+    std::string to_string() const;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMPILER_BAT_H

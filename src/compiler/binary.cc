@@ -1,0 +1,336 @@
+#include "compiler/binary.h"
+
+#include <cstring>
+
+#include "common/log.h"
+
+namespace gpushield {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x47505348; // "GPSH"
+constexpr std::uint32_t kVersion = 2;
+
+/** Little-endian byte writer. */
+class Writer
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        bytes_.push_back(v);
+    }
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+    void
+    i64(std::int64_t v)
+    {
+        u64(static_cast<std::uint64_t>(v));
+    }
+    void
+    i32(std::int32_t v)
+    {
+        u32(static_cast<std::uint32_t>(v));
+    }
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+  private:
+    std::vector<std::uint8_t> bytes_;
+};
+
+/** Bounds-checked little-endian reader. fatal() on truncation. */
+class Reader
+{
+  public:
+    explicit Reader(const std::vector<std::uint8_t> &bytes)
+        : bytes_(bytes)
+    {
+    }
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return bytes_[pos_++];
+    }
+    std::uint32_t
+    u32()
+    {
+        need(4);
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+        return v;
+    }
+    std::uint64_t
+    u64()
+    {
+        need(8);
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+        return v;
+    }
+    std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+    std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        need(len);
+        std::string s(bytes_.begin() + static_cast<long>(pos_),
+                      bytes_.begin() + static_cast<long>(pos_ + len));
+        pos_ += len;
+        return s;
+    }
+    bool at_end() const { return pos_ == bytes_.size(); }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (pos_ + n > bytes_.size())
+            fatal("kernel binary truncated");
+    }
+
+    const std::vector<std::uint8_t> &bytes_;
+    std::size_t pos_ = 0;
+};
+
+void
+write_program(Writer &w, const KernelProgram &prog)
+{
+    w.str(prog.name);
+    w.i32(prog.num_regs);
+    w.i32(prog.num_preds);
+    w.u32(prog.shared_bytes);
+
+    w.u32(static_cast<std::uint32_t>(prog.args.size()));
+    for (const KernelArgSpec &arg : prog.args) {
+        w.u8(arg.is_pointer ? 1 : 0);
+        w.i32(arg.buffer_index);
+        w.i64(arg.scalar);
+        w.str(arg.name);
+    }
+
+    w.u32(static_cast<std::uint32_t>(prog.locals.size()));
+    for (const LocalVarSpec &lv : prog.locals) {
+        w.u32(lv.elem_size);
+        w.u32(lv.elems);
+        w.str(lv.name);
+    }
+
+    w.u32(static_cast<std::uint32_t>(prog.code.size()));
+    for (const Instr &in : prog.code) {
+        w.u8(static_cast<std::uint8_t>(in.op));
+        w.i32(in.rd);
+        w.i32(in.ra);
+        w.i32(in.rb);
+        w.i32(in.rc);
+        w.i64(in.imm);
+        w.u8(static_cast<std::uint8_t>(in.cmp));
+        w.u8(static_cast<std::uint8_t>(in.sreg));
+        w.i32(in.arg_index);
+        w.u32(in.scale);
+        w.i64(in.disp);
+        w.u8(in.size);
+        w.u8(static_cast<std::uint8_t>(in.space));
+        w.u8(in.base_offset ? 1 : 0);
+        w.i32(in.bt_index);
+        w.i32(in.target);
+        w.i32(in.pred);
+        w.u8(in.neg_pred ? 1 : 0);
+        w.u8(static_cast<std::uint8_t>(in.check));
+    }
+}
+
+KernelProgram
+read_program(Reader &r)
+{
+    KernelProgram prog;
+    prog.name = r.str();
+    prog.num_regs = r.i32();
+    prog.num_preds = r.i32();
+    prog.shared_bytes = r.u32();
+
+    const std::uint32_t nargs = r.u32();
+    for (std::uint32_t i = 0; i < nargs; ++i) {
+        KernelArgSpec arg;
+        arg.is_pointer = r.u8() != 0;
+        arg.buffer_index = r.i32();
+        arg.scalar = r.i64();
+        arg.name = r.str();
+        prog.args.push_back(arg);
+    }
+
+    const std::uint32_t nlocals = r.u32();
+    for (std::uint32_t i = 0; i < nlocals; ++i) {
+        LocalVarSpec lv;
+        lv.elem_size = r.u32();
+        lv.elems = r.u32();
+        lv.name = r.str();
+        prog.locals.push_back(lv);
+    }
+
+    const std::uint32_t ninstrs = r.u32();
+    for (std::uint32_t i = 0; i < ninstrs; ++i) {
+        Instr in;
+        in.op = static_cast<Op>(r.u8());
+        in.rd = r.i32();
+        in.ra = r.i32();
+        in.rb = r.i32();
+        in.rc = r.i32();
+        in.imm = r.i64();
+        in.cmp = static_cast<Cmp>(r.u8());
+        in.sreg = static_cast<SpecialReg>(r.u8());
+        in.arg_index = r.i32();
+        in.scale = r.u32();
+        in.disp = r.i64();
+        in.size = r.u8();
+        in.space = static_cast<MemSpace>(r.u8());
+        in.base_offset = r.u8() != 0;
+        in.bt_index = r.i32();
+        in.target = r.i32();
+        in.pred = r.i32();
+        in.neg_pred = r.u8() != 0;
+        in.check = static_cast<CheckMode>(r.u8());
+        prog.code.push_back(in);
+    }
+    prog.validate();
+    return prog;
+}
+
+void
+write_bat(Writer &w, const BoundsAnalysisTable &bat)
+{
+    w.u32(static_cast<std::uint32_t>(bat.entries.size()));
+    for (const BatEntry &e : bat.entries) {
+        w.i32(e.pc);
+        w.u8(static_cast<std::uint8_t>(e.base.kind));
+        w.i32(e.base.index);
+        w.u8(e.is_store ? 1 : 0);
+        w.u8(e.base_offset_mode ? 1 : 0);
+        w.u8(static_cast<std::uint8_t>(e.verdict));
+        w.i64(e.off_lo);
+        w.i64(e.off_end);
+        w.u8(e.offsets_known ? 1 : 0);
+    }
+    w.u32(static_cast<std::uint32_t>(bat.pointer_types.size()));
+    for (const auto &[ref, type] : bat.pointer_types) {
+        w.u8(static_cast<std::uint8_t>(ref.kind));
+        w.i32(ref.index);
+        w.u8(static_cast<std::uint8_t>(type));
+    }
+}
+
+BoundsAnalysisTable
+read_bat(Reader &r)
+{
+    BoundsAnalysisTable bat;
+    const std::uint32_t nentries = r.u32();
+    for (std::uint32_t i = 0; i < nentries; ++i) {
+        BatEntry e;
+        e.pc = r.i32();
+        e.base.kind = static_cast<BaseKind>(r.u8());
+        e.base.index = r.i32();
+        e.is_store = r.u8() != 0;
+        e.base_offset_mode = r.u8() != 0;
+        e.verdict = static_cast<Verdict>(r.u8());
+        e.off_lo = r.i64();
+        e.off_end = r.i64();
+        e.offsets_known = r.u8() != 0;
+        bat.entries.push_back(e);
+    }
+    const std::uint32_t ntypes = r.u32();
+    for (std::uint32_t i = 0; i < ntypes; ++i) {
+        BaseRef ref;
+        ref.kind = static_cast<BaseKind>(r.u8());
+        ref.index = r.i32();
+        bat.pointer_types[ref] = static_cast<PtrTypeRec>(r.u8());
+    }
+    return bat;
+}
+
+void
+write_header(Writer &w, bool has_bat)
+{
+    w.u32(kMagic);
+    w.u32(kVersion);
+    w.u8(has_bat ? 1 : 0);
+}
+
+void
+read_header(Reader &r, bool expect_bat)
+{
+    if (r.u32() != kMagic)
+        fatal("kernel binary: bad magic");
+    if (r.u32() != kVersion)
+        fatal("kernel binary: version mismatch");
+    const bool has_bat = r.u8() != 0;
+    if (has_bat != expect_bat)
+        fatal("kernel binary: unexpected BAT section");
+}
+
+} // namespace
+
+std::vector<std::uint8_t>
+serialize_program(const KernelProgram &program)
+{
+    Writer w;
+    write_header(w, /*has_bat=*/false);
+    write_program(w, program);
+    return w.take();
+}
+
+KernelProgram
+deserialize_program(const std::vector<std::uint8_t> &bytes)
+{
+    Reader r(bytes);
+    read_header(r, /*expect_bat=*/false);
+    KernelProgram prog = read_program(r);
+    if (!r.at_end())
+        fatal("kernel binary: trailing bytes");
+    return prog;
+}
+
+std::vector<std::uint8_t>
+serialize_binary(const KernelBinary &binary)
+{
+    Writer w;
+    write_header(w, /*has_bat=*/true);
+    write_program(w, binary.program);
+    write_bat(w, binary.bat);
+    return w.take();
+}
+
+KernelBinary
+deserialize_binary(const std::vector<std::uint8_t> &bytes)
+{
+    Reader r(bytes);
+    read_header(r, /*expect_bat=*/true);
+    KernelBinary binary;
+    binary.program = read_program(r);
+    binary.bat = read_bat(r);
+    if (!r.at_end())
+        fatal("kernel binary: trailing bytes");
+    return binary;
+}
+
+} // namespace gpushield

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Kernel binary (de)serialization.
+ *
+ * Fig. 9's compiler → driver contract ships the kernel code with the
+ * Bounds-Analysis Table attached to the binary. This module provides
+ * that container: a versioned, self-describing byte format holding the
+ * program (instructions, argument/local declarations) and its BAT, so
+ * a driver can load a previously-compiled kernel instead of re-running
+ * the front end.
+ */
+
+#ifndef GPUSHIELD_COMPILER_BINARY_H
+#define GPUSHIELD_COMPILER_BINARY_H
+
+#include <cstdint>
+#include <vector>
+
+#include "compiler/bat.h"
+#include "isa/ir.h"
+
+namespace gpushield {
+
+/** A compiled kernel plus its attached analysis (Fig. 9 step 3). */
+struct KernelBinary
+{
+    KernelProgram program;
+    BoundsAnalysisTable bat;
+};
+
+/** Encodes @p program into the portable byte format. */
+std::vector<std::uint8_t> serialize_program(const KernelProgram &program);
+
+/**
+ * Decodes a program; calls fatal() on truncated or version-mismatched
+ * input. The result is validate()d before returning.
+ */
+KernelProgram deserialize_program(const std::vector<std::uint8_t> &bytes);
+
+/** Encodes program + BAT (the full kernel binary). */
+std::vector<std::uint8_t> serialize_binary(const KernelBinary &binary);
+
+/** Decodes a full kernel binary. */
+KernelBinary deserialize_binary(const std::vector<std::uint8_t> &bytes);
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMPILER_BINARY_H

@@ -1,0 +1,664 @@
+#include "compiler/static_analysis.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/log.h"
+
+namespace gpushield {
+
+namespace {
+
+// Saturation bound keeping interval arithmetic overflow-free.
+constexpr std::int64_t kSat = std::int64_t{1} << 62;
+
+std::int64_t
+sat(std::int64_t v)
+{
+    return std::clamp(v, -kSat, kSat);
+}
+
+std::int64_t
+sat_add(std::int64_t a, std::int64_t b)
+{
+    return sat(sat(a) + sat(b));
+}
+
+std::int64_t
+sat_mul(std::int64_t a, std::int64_t b)
+{
+    const double approx = static_cast<double>(a) * static_cast<double>(b);
+    if (approx > static_cast<double>(kSat) ||
+        approx < -static_cast<double>(kSat))
+        return approx > 0 ? kSat : -kSat;
+    return a * b;
+}
+
+/** Abstract value: unknown, integer interval, or pointer + offset interval. */
+struct AbsVal
+{
+    enum class Kind : std::uint8_t { Top, Range, Ptr };
+
+    Kind kind = Kind::Top;
+    std::int64_t lo = 0, hi = 0; //!< Range
+    BaseRef base;                //!< Ptr
+    std::int64_t plo = 0, phi = 0;
+
+    static AbsVal
+    top()
+    {
+        return {};
+    }
+
+    static AbsVal
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        AbsVal v;
+        v.kind = Kind::Range;
+        v.lo = sat(lo);
+        v.hi = sat(hi);
+        return v;
+    }
+
+    static AbsVal
+    constant(std::int64_t c)
+    {
+        return range(c, c);
+    }
+
+    static AbsVal
+    pointer(BaseRef base)
+    {
+        AbsVal v;
+        v.kind = Kind::Ptr;
+        v.base = base;
+        return v;
+    }
+
+    bool is_const() const { return kind == Kind::Range && lo == hi; }
+};
+
+AbsVal
+abs_add(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind == AbsVal::Kind::Ptr && b.kind == AbsVal::Kind::Range) {
+        AbsVal v = a;
+        v.plo = sat_add(a.plo, b.lo);
+        v.phi = sat_add(a.phi, b.hi);
+        return v;
+    }
+    if (b.kind == AbsVal::Kind::Ptr && a.kind == AbsVal::Kind::Range)
+        return abs_add(b, a);
+    if (a.kind == AbsVal::Kind::Range && b.kind == AbsVal::Kind::Range)
+        return AbsVal::range(sat_add(a.lo, b.lo), sat_add(a.hi, b.hi));
+    // Pointer plus an unknown value: the base is still identified
+    // (Fig. 5's "tid + ?" row) but the offset range is unbounded.
+    if (a.kind == AbsVal::Kind::Ptr || b.kind == AbsVal::Kind::Ptr) {
+        AbsVal v = a.kind == AbsVal::Kind::Ptr ? a : b;
+        v.plo = -kSat;
+        v.phi = kSat;
+        return v;
+    }
+    return AbsVal::top();
+}
+
+AbsVal
+abs_sub(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind == AbsVal::Kind::Ptr && b.kind == AbsVal::Kind::Range) {
+        AbsVal v = a;
+        v.plo = sat_add(a.plo, -b.hi);
+        v.phi = sat_add(a.phi, -b.lo);
+        return v;
+    }
+    if (a.kind == AbsVal::Kind::Range && b.kind == AbsVal::Kind::Range)
+        return AbsVal::range(sat_add(a.lo, -b.hi), sat_add(a.hi, -b.lo));
+    return AbsVal::top();
+}
+
+AbsVal
+abs_mul(const AbsVal &a, const AbsVal &b)
+{
+    if (a.kind != AbsVal::Kind::Range || b.kind != AbsVal::Kind::Range)
+        return AbsVal::top();
+    const std::int64_t c[4] = {sat_mul(a.lo, b.lo), sat_mul(a.lo, b.hi),
+                               sat_mul(a.hi, b.lo), sat_mul(a.hi, b.hi)};
+    return AbsVal::range(*std::min_element(c, c + 4),
+                         *std::max_element(c, c + 4));
+}
+
+AbsVal
+abs_minmax(const AbsVal &a, const AbsVal &b, bool take_min)
+{
+    if (a.kind != AbsVal::Kind::Range || b.kind != AbsVal::Kind::Range)
+        return AbsVal::top();
+    if (take_min)
+        return AbsVal::range(std::min(a.lo, b.lo), std::min(a.hi, b.hi));
+    return AbsVal::range(std::max(a.lo, b.lo), std::max(a.hi, b.hi));
+}
+
+/** Range refinement applied inside an if/loop guarded region. */
+struct Refinement
+{
+    enum class Kind : std::uint8_t {
+        UpperExclusive, //!< x < bound holds in the region
+        UpperInclusive, //!< x <= bound
+        LowerInclusive, //!< x >= bound
+        LowerExclusive, //!< x > bound
+    };
+    int reg = kNoReg;
+    Kind kind = Kind::UpperExclusive;
+    std::int64_t bound = 0;
+    int end_pc = 0; //!< refinement valid for pc in [start, end_pc)
+};
+
+/** The full analysis state. */
+class Analyzer
+{
+  public:
+    Analyzer(const KernelProgram &prog, const StaticLaunchInfo &info)
+        : prog_(prog), info_(info), regs_(prog.num_regs)
+    {
+    }
+
+    BoundsAnalysisTable run();
+
+  private:
+    AbsVal eval_src(const Instr &in) const; //!< rb-or-imm second operand
+    AbsVal read_reg(int r, int pc) const;
+    AbsVal sreg_value(SpecialReg s) const;
+    void eval_pre(std::vector<AbsVal> &pre, const Instr &in) const;
+    void find_inductions();
+    void find_guards();
+    void record_access(int pc, const Instr &in);
+    void assign_pointer_types(BoundsAnalysisTable &bat) const;
+    std::uint64_t buffer_size_of(const BaseRef &ref) const;
+
+    const KernelProgram &prog_;
+    const StaticLaunchInfo &info_;
+    std::vector<AbsVal> regs_;
+    std::map<int, AbsVal> induction_; //!< reg -> fixed range
+    std::vector<Refinement> guards_;
+    BoundsAnalysisTable bat_;
+};
+
+AbsVal
+Analyzer::sreg_value(SpecialReg s) const
+{
+    const std::int64_t ntid = info_.ntid;
+    const std::int64_t nctaid = info_.nctaid;
+    switch (s) {
+      case SpecialReg::TidX:
+        return ntid > 0 ? AbsVal::range(0, ntid - 1) : AbsVal::top();
+      case SpecialReg::CtaIdX:
+        return nctaid > 0 ? AbsVal::range(0, nctaid - 1) : AbsVal::top();
+      case SpecialReg::NTidX:
+        return ntid > 0 ? AbsVal::constant(ntid) : AbsVal::top();
+      case SpecialReg::NCtaIdX:
+        return nctaid > 0 ? AbsVal::constant(nctaid) : AbsVal::top();
+      case SpecialReg::GlobalId:
+        return (ntid > 0 && nctaid > 0)
+                   ? AbsVal::range(0, ntid * nctaid - 1)
+                   : AbsVal::top();
+      case SpecialReg::NThreads:
+        return (ntid > 0 && nctaid > 0) ? AbsVal::constant(ntid * nctaid)
+                                        : AbsVal::top();
+      case SpecialReg::LaneId:
+        return AbsVal::range(0, kWarpSize - 1);
+    }
+    return AbsVal::top();
+}
+
+AbsVal
+Analyzer::read_reg(int r, int pc) const
+{
+    if (r == kNoReg)
+        return AbsVal::top();
+    AbsVal v;
+    const auto it = induction_.find(r);
+    v = it != induction_.end() ? it->second : regs_[r];
+    // Guard refinement: inside `if (r cmp bound)` regions, clamp the
+    // range (§6.4 patterns: both upper and lower guards).
+    for (const Refinement &g : guards_) {
+        if (g.reg != r || pc >= g.end_pc || v.kind != AbsVal::Kind::Range)
+            continue;
+        switch (g.kind) {
+          case Refinement::Kind::UpperExclusive:
+            v.hi = std::min(v.hi, g.bound - 1);
+            break;
+          case Refinement::Kind::UpperInclusive:
+            v.hi = std::min(v.hi, g.bound);
+            break;
+          case Refinement::Kind::LowerInclusive:
+            v.lo = std::max(v.lo, g.bound);
+            break;
+          case Refinement::Kind::LowerExclusive:
+            v.lo = std::max(v.lo, g.bound + 1);
+            break;
+        }
+    }
+    return v;
+}
+
+AbsVal
+Analyzer::eval_src(const Instr &in) const
+{
+    // Second operand of two-source ALU ops: register or immediate.
+    return in.rb != kNoReg ? regs_[in.rb] : AbsVal::constant(in.imm);
+}
+
+/**
+ * Evaluates a simple bound expression for loop/guard analysis: an
+ * immediate, or a register whose current abstract value is known.
+ */
+namespace {
+std::optional<std::int64_t>
+upper_of(const AbsVal &v)
+{
+    if (v.kind == AbsVal::Kind::Range)
+        return v.hi;
+    return std::nullopt;
+}
+} // namespace
+
+void
+Analyzer::eval_pre(std::vector<AbsVal> &pre, const Instr &in) const
+{
+    // Straight-line abstract evaluation used to resolve loop/guard
+    // bounds held in registers (constants, known scalars, special
+    // registers, and simple arithmetic over them).
+    if (in.rd == kNoReg)
+        return;
+    const auto src2_of = [&](const Instr &i) {
+        return i.rb != kNoReg ? pre[i.rb] : AbsVal::constant(i.imm);
+    };
+    switch (in.op) {
+      case Op::Mov:
+        pre[in.rd] = in.ra != kNoReg ? pre[in.ra] : AbsVal::constant(in.imm);
+        break;
+      case Op::Sreg:
+        pre[in.rd] = sreg_value(in.sreg);
+        break;
+      case Op::Ldarg: {
+        const auto &spec = prog_.args[in.arg_index];
+        if (!spec.is_pointer &&
+            static_cast<std::size_t>(in.arg_index) <
+                info_.scalar_values.size() &&
+            info_.scalar_values[in.arg_index]) {
+            pre[in.rd] =
+                AbsVal::constant(*info_.scalar_values[in.arg_index]);
+        } else {
+            pre[in.rd] = AbsVal::top();
+        }
+        break;
+      }
+      case Op::Add:
+        pre[in.rd] = abs_add(pre[in.ra], src2_of(in));
+        break;
+      case Op::Sub:
+        pre[in.rd] = abs_sub(pre[in.ra], src2_of(in));
+        break;
+      case Op::Mul:
+        pre[in.rd] = abs_mul(pre[in.ra], src2_of(in));
+        break;
+      case Op::Min:
+        pre[in.rd] = abs_minmax(pre[in.ra], src2_of(in), true);
+        break;
+      case Op::Max:
+        pre[in.rd] = abs_minmax(pre[in.ra], src2_of(in), false);
+        break;
+      case Op::Shr: {
+        const AbsVal a = pre[in.ra];
+        const AbsVal s = src2_of(in);
+        if (a.kind == AbsVal::Kind::Range && s.is_const() && a.lo >= 0 &&
+            s.lo >= 0 && s.lo < 63)
+            pre[in.rd] = AbsVal::range(a.lo >> s.lo, a.hi >> s.lo);
+        else
+            pre[in.rd] = AbsVal::top();
+        break;
+      }
+      default:
+        pre[in.rd] = AbsVal::top();
+        break;
+    }
+}
+
+void
+Analyzer::find_inductions()
+{
+    std::vector<AbsVal> pre(prog_.num_regs);
+    for (const Instr &in : prog_.code)
+        eval_pre(pre, in);
+
+    // Canonical loop shape: setp.lt p, i, bound ; bra p, head(backward).
+    for (std::size_t pc = 0; pc < prog_.code.size(); ++pc) {
+        const Instr &bra = prog_.code[pc];
+        if (bra.op != Op::Bra || bra.pred == kNoReg ||
+            bra.target > static_cast<int>(pc))
+            continue;
+        // Locate the defining Setp for this predicate.
+        for (std::size_t q = pc; q-- > 0;) {
+            const Instr &setp = prog_.code[q];
+            if (setp.op != Op::Setp || setp.rd != bra.pred)
+                continue;
+            if (setp.cmp == Cmp::Lt && !bra.neg_pred) {
+                const AbsVal bound = setp.rb != kNoReg
+                                         ? pre[setp.rb]
+                                         : AbsVal::constant(setp.imm);
+                if (const auto hi = upper_of(bound))
+                    induction_[setp.ra] = AbsVal::range(0, *hi - 1);
+            }
+            break;
+        }
+    }
+}
+
+void
+Analyzer::find_guards()
+{
+    // Builder's if_then shape: ssy END ; bra.not p, END with
+    // p = setp.cmp x, bound — inside [bra+1, END) the predicate holds.
+    std::vector<AbsVal> pre(prog_.num_regs);
+    for (std::size_t pc = 0; pc < prog_.code.size(); ++pc) {
+        const Instr &in = prog_.code[pc];
+        eval_pre(pre, in);
+        if (in.op != Op::Bra || in.pred == kNoReg || !in.neg_pred ||
+            in.target <= static_cast<int>(pc))
+            continue;
+        for (std::size_t q = pc; q-- > 0;) {
+            const Instr &setp = prog_.code[q];
+            if (setp.op != Op::Setp || setp.rd != in.pred)
+                continue;
+            const AbsVal bound = setp.rb != kNoReg
+                                     ? pre[setp.rb]
+                                     : AbsVal::constant(setp.imm);
+            Refinement g;
+            g.reg = setp.ra;
+            g.end_pc = in.target;
+            bool usable = true;
+            switch (setp.cmp) {
+              case Cmp::Lt:
+                // Upper bounds need the bound's max; lower bounds its min.
+                usable = bound.kind == AbsVal::Kind::Range;
+                g.kind = Refinement::Kind::UpperExclusive;
+                g.bound = bound.hi;
+                break;
+              case Cmp::Le:
+                usable = bound.kind == AbsVal::Kind::Range;
+                g.kind = Refinement::Kind::UpperInclusive;
+                g.bound = bound.hi;
+                break;
+              case Cmp::Ge:
+                usable = bound.kind == AbsVal::Kind::Range;
+                g.kind = Refinement::Kind::LowerInclusive;
+                g.bound = bound.lo;
+                break;
+              case Cmp::Gt:
+                usable = bound.kind == AbsVal::Kind::Range;
+                g.kind = Refinement::Kind::LowerExclusive;
+                g.bound = bound.lo;
+                break;
+              default:
+                usable = false;
+                break;
+            }
+            if (usable)
+                guards_.push_back(g);
+            break;
+        }
+    }
+}
+
+std::uint64_t
+Analyzer::buffer_size_of(const BaseRef &ref) const
+{
+    switch (ref.kind) {
+      case BaseKind::Arg:
+        if (ref.index >= 0 &&
+            static_cast<std::size_t>(ref.index) <
+                info_.arg_buffer_sizes.size())
+            return info_.arg_buffer_sizes[ref.index];
+        return 0;
+      case BaseKind::Local: {
+        if (ref.index < 0 ||
+            static_cast<std::size_t>(ref.index) >= prog_.locals.size())
+            return 0;
+        const LocalVarSpec &lv = prog_.locals[ref.index];
+        const std::uint64_t threads =
+            static_cast<std::uint64_t>(info_.ntid) * info_.nctaid;
+        return static_cast<std::uint64_t>(lv.elem_size) * lv.elems * threads;
+      }
+      default:
+        return 0; // heap size unknown at compile time
+    }
+}
+
+void
+Analyzer::record_access(int pc, const Instr &in)
+{
+    BatEntry entry;
+    entry.pc = pc;
+    entry.is_store = in.op == Op::St;
+    entry.base_offset_mode = in.base_offset;
+
+    AbsVal addr;
+    if (in.base_offset) {
+        AbsVal base;
+        if (in.bt_index >= 0) {
+            // Method A: the bt-th pointer argument, in argument order.
+            int seen = 0;
+            for (std::size_t a = 0; a < prog_.args.size(); ++a) {
+                if (!prog_.args[a].is_pointer)
+                    continue;
+                if (seen++ == in.bt_index) {
+                    base = AbsVal::pointer(
+                        BaseRef{BaseKind::Arg, static_cast<int>(a)});
+                    break;
+                }
+            }
+        } else {
+            base = read_reg(in.ra, pc);
+        }
+        const AbsVal idx = read_reg(in.rb, pc);
+        const AbsVal scaled =
+            abs_mul(idx, AbsVal::constant(static_cast<std::int64_t>(in.scale)));
+        addr = abs_add(abs_add(base, scaled), AbsVal::constant(in.disp));
+    } else {
+        addr = read_reg(in.ra, pc);
+    }
+
+    if (addr.kind == AbsVal::Kind::Ptr) {
+        entry.base = addr.base;
+        entry.offsets_known = addr.plo > -kSat && addr.phi < kSat;
+        entry.off_lo = addr.plo;
+        entry.off_end = sat_add(addr.phi, in.size);
+
+        // Stores to read-only buffers must never lose their runtime
+        // check: bounds-proving says nothing about writability.
+        const bool ro_store =
+            entry.is_store && addr.base.kind == BaseKind::Arg &&
+            addr.base.index >= 0 &&
+            static_cast<std::size_t>(addr.base.index) <
+                info_.arg_buffer_readonly.size() &&
+            info_.arg_buffer_readonly[addr.base.index];
+
+        const std::uint64_t buf_size = buffer_size_of(addr.base);
+        if (buf_size > 0 && entry.offsets_known && !ro_store) {
+            const auto sz = static_cast<std::int64_t>(buf_size);
+            if (entry.off_lo >= 0 && entry.off_end <= sz) {
+                entry.verdict = Verdict::InBounds;
+            } else if (entry.off_lo >= sz || entry.off_end <= 0) {
+                // Every possible access escapes the buffer: report the
+                // overflow at compile time (Fig. 5's B[tid + 1<<32]).
+                entry.verdict = Verdict::OutOfBounds;
+            }
+        }
+    }
+    bat_.entries.push_back(entry);
+}
+
+void
+Analyzer::assign_pointer_types(BoundsAnalysisTable &bat) const
+{
+    struct Summary
+    {
+        bool any = false;
+        bool all_safe = true;
+        bool all_base_offset = true;
+    };
+    std::map<BaseRef, Summary> by_base;
+    for (const BatEntry &e : bat.entries) {
+        if (e.base.kind == BaseKind::Unknown)
+            continue;
+        Summary &s = by_base[e.base];
+        s.any = true;
+        s.all_safe &= e.verdict == Verdict::InBounds;
+        s.all_base_offset &= e.base_offset_mode;
+    }
+
+    // Every declared pointer base gets a type; untouched ones default to
+    // Type 2 (the conservative choice — their pointer may escape).
+    for (std::size_t a = 0; a < prog_.args.size(); ++a) {
+        if (!prog_.args[a].is_pointer)
+            continue;
+        const BaseRef ref{BaseKind::Arg, static_cast<int>(a)};
+        bat.pointer_types[ref] = PtrTypeRec::TaggedId;
+    }
+    for (std::size_t l = 0; l < prog_.locals.size(); ++l)
+        bat.pointer_types[BaseRef{BaseKind::Local, static_cast<int>(l)}] =
+            PtrTypeRec::TaggedId;
+
+    for (const auto &[ref, s] : by_base) {
+        if (!s.any)
+            continue;
+        if (s.all_safe) {
+            bat.pointer_types[ref] = PtrTypeRec::Unprotected;
+        } else if (s.all_base_offset && ref.kind == BaseKind::Arg &&
+                   ref.index >= 0 &&
+                   static_cast<std::size_t>(ref.index) <
+                       info_.arg_buffer_pow2.size() &&
+                   info_.arg_buffer_pow2[ref.index]) {
+            bat.pointer_types[ref] = PtrTypeRec::SizedWindow;
+        } else {
+            bat.pointer_types[ref] = PtrTypeRec::TaggedId;
+        }
+    }
+    // The heap region is always runtime-checked.
+    bat.pointer_types[BaseRef{BaseKind::Heap, -1}] = PtrTypeRec::TaggedId;
+}
+
+BoundsAnalysisTable
+Analyzer::run()
+{
+    find_inductions();
+    find_guards();
+
+    for (std::size_t pc = 0; pc < prog_.code.size(); ++pc) {
+        const Instr &in = prog_.code[pc];
+        const int ipc = static_cast<int>(pc);
+        switch (in.op) {
+          case Op::Mov:
+            regs_[in.rd] = in.ra != kNoReg ? read_reg(in.ra, ipc)
+                                           : AbsVal::constant(in.imm);
+            break;
+          case Op::Add:
+            regs_[in.rd] = abs_add(read_reg(in.ra, ipc), eval_src(in));
+            break;
+          case Op::Sub:
+            regs_[in.rd] = abs_sub(read_reg(in.ra, ipc), eval_src(in));
+            break;
+          case Op::Mul:
+            regs_[in.rd] = abs_mul(read_reg(in.ra, ipc), eval_src(in));
+            break;
+          case Op::Min:
+            regs_[in.rd] =
+                abs_minmax(read_reg(in.ra, ipc), eval_src(in), true);
+            break;
+          case Op::Max:
+            regs_[in.rd] =
+                abs_minmax(read_reg(in.ra, ipc), eval_src(in), false);
+            break;
+          case Op::Mad:
+            regs_[in.rd] =
+                abs_add(abs_mul(read_reg(in.ra, ipc), read_reg(in.rb, ipc)),
+                        read_reg(in.rc, ipc));
+            break;
+          case Op::Sreg:
+            regs_[in.rd] = sreg_value(in.sreg);
+            break;
+          case Op::Ldarg: {
+            const KernelArgSpec &spec = prog_.args[in.arg_index];
+            if (spec.is_pointer) {
+                regs_[in.rd] =
+                    AbsVal::pointer(BaseRef{BaseKind::Arg, in.arg_index});
+            } else if (static_cast<std::size_t>(in.arg_index) <
+                           info_.scalar_values.size() &&
+                       info_.scalar_values[in.arg_index]) {
+                regs_[in.rd] =
+                    AbsVal::constant(*info_.scalar_values[in.arg_index]);
+            } else {
+                regs_[in.rd] = AbsVal::top();
+            }
+            break;
+          }
+          case Op::Ldloc:
+            regs_[in.rd] =
+                AbsVal::pointer(BaseRef{BaseKind::Local, in.arg_index});
+            break;
+          case Op::Malloc:
+            regs_[in.rd] = AbsVal::pointer(BaseRef{BaseKind::Heap, -1});
+            break;
+          case Op::Gep: {
+            const AbsVal scaled = abs_mul(
+                read_reg(in.rb, ipc),
+                AbsVal::constant(static_cast<std::int64_t>(in.scale)));
+            regs_[in.rd] = abs_add(abs_add(read_reg(in.ra, ipc), scaled),
+                                   AbsVal::constant(in.disp));
+            break;
+          }
+          case Op::Ld:
+            record_access(ipc, in);
+            regs_[in.rd] = AbsVal::top(); // loaded data is runtime input
+            break;
+          case Op::St:
+            record_access(ipc, in);
+            break;
+          case Op::Lds:
+            regs_[in.rd] = AbsVal::top();
+            break;
+          case Op::Divi:
+          case Op::Rem:
+          case Op::And:
+          case Op::Or:
+          case Op::Xor:
+          case Op::Shl:
+          case Op::Shr:
+            if (in.rd != kNoReg)
+                regs_[in.rd] = AbsVal::top();
+            break;
+          default:
+            break;
+        }
+        // Induction registers keep their loop-wide range regardless of
+        // the straight-line value just computed.
+        if (in.rd != kNoReg) {
+            const auto it = induction_.find(in.rd);
+            if (it != induction_.end())
+                regs_[in.rd] = it->second;
+        }
+    }
+
+    assign_pointer_types(bat_);
+    return std::move(bat_);
+}
+
+} // namespace
+
+BoundsAnalysisTable
+analyze_kernel(const KernelProgram &prog, const StaticLaunchInfo &info)
+{
+    Analyzer analyzer(prog, info);
+    return analyzer.run();
+}
+
+} // namespace gpushield

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Compiler-based static bounds analysis (§5.3, Fig. 8).
+ *
+ * The pass mirrors the paper's LLVM data-flow analysis on our IR: for
+ * every memory instruction it walks the operand tree rooted at the
+ * address register back to its producers (GEP base and index chains),
+ * then fills in values from launch-time constants — scalar kernel
+ * arguments the host passes as literals, grid dimensions, and the
+ * bounded ranges of special registers (tid < ntid, etc.). Accesses whose
+ * whole offset range provably stays inside the buffer are marked
+ * InBounds (→ runtime check elided, pointer Type 1); provably-escaping
+ * constant accesses are compile-time errors; the rest stay Unknown and
+ * rely on the BCU.
+ *
+ * The abstract domain is intervals plus (base, interval) pointer values.
+ * Loop induction variables are recognized from the canonical counted-
+ * loop shape the builder emits, and `if (x < bound)` guards refine x's
+ * range inside the guarded region — this is what lets GPUShield replace
+ * the software bounds checks of §6.4.
+ */
+
+#ifndef GPUSHIELD_COMPILER_STATIC_ANALYSIS_H
+#define GPUSHIELD_COMPILER_STATIC_ANALYSIS_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "compiler/bat.h"
+#include "isa/ir.h"
+
+namespace gpushield {
+
+/** Launch-time facts available to the static pass (host-code analysis). */
+struct StaticLaunchInfo
+{
+    std::uint32_t ntid = 0;   //!< workgroup size
+    std::uint32_t nctaid = 0; //!< number of workgroups
+
+    /** Per kernel-arg position: bound buffer size in bytes (0 = scalar). */
+    std::vector<std::uint64_t> arg_buffer_sizes;
+    /** Per kernel-arg position: buffer reserved as a power-of-two window. */
+    std::vector<bool> arg_buffer_pow2;
+    /** Per kernel-arg position: buffer is read-only (stores through it
+     *  must keep their runtime check even when in-bounds). */
+    std::vector<bool> arg_buffer_readonly;
+    /** Per kernel-arg position: scalar value when the host passes a
+     *  compile-time constant; nullopt for runtime (attacker-controlled)
+     *  scalars, which stay Unknown like `D = argv[1]` in Fig. 5. */
+    std::vector<std::optional<std::int64_t>> scalar_values;
+};
+
+/** Runs the static pass and produces the kernel's BAT. */
+BoundsAnalysisTable analyze_kernel(const KernelProgram &prog,
+                                   const StaticLaunchInfo &info);
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_COMPILER_STATIC_ANALYSIS_H

@@ -1,0 +1,438 @@
+#include "driver/driver.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+#include "shield/cipher.h"
+#include "shield/pointer.h"
+
+namespace gpushield {
+
+namespace {
+
+// Device virtual/physical address map. The RBT physical window lies
+// outside every VA-backed physical range, so no virtual mapping can
+// reach it — kernels cannot touch bounds metadata (§5.4, §6.1).
+constexpr VAddr kGlobalVaBase = 0x0020'0000'0000ull;
+constexpr PAddr kGlobalPaBase = 0x0000'2000'0000ull;
+constexpr VAddr kLocalVaBase = 0x0060'0000'0000ull;
+constexpr PAddr kLocalPaBase = 0x0000'6000'0000ull;
+constexpr VAddr kHeapVaBase = 0x00A0'0000'0000ull;
+constexpr PAddr kHeapPaBase = 0x0000'A000'0000ull;
+constexpr PAddr kRbtPaBase = 0x0000'E000'0000ull;
+
+} // namespace
+
+GpuDevice::GpuDevice(std::uint64_t page_size)
+    : pt_(page_size),
+      global_alloc_(pt_, kGlobalVaBase, kGlobalPaBase),
+      local_alloc_(pt_, kLocalVaBase, kLocalPaBase),
+      heap_alloc_(pt_, kHeapVaBase, kHeapPaBase)
+{
+}
+
+PAddr
+GpuDevice::rbt_base(KernelId kernel) const
+{
+    return kRbtPaBase +
+           static_cast<PAddr>(kernel) * RegionBoundsTable::kTableBytes;
+}
+
+Driver::Driver(GpuDevice &dev, std::uint64_t seed, std::size_t id_space)
+    : dev_(dev), rng_(seed), id_space_(id_space)
+{
+    if (id_space_ < 2 || id_space_ > kNumBufferIds)
+        fatal("Driver: invalid buffer-ID space size");
+}
+
+BufferHandle
+Driver::create_buffer(std::uint64_t size, bool read_only, bool pow2,
+                      std::string label)
+{
+    VaRegion region =
+        pow2 ? dev_.global_alloc().alloc_pow2(size, read_only, label)
+             : dev_.global_alloc().alloc(size, read_only, label);
+    buffers_.push_back(region);
+    buffer_pow2_.push_back(pow2);
+    return BufferHandle{static_cast<int>(buffers_.size()) - 1};
+}
+
+const VaRegion &
+Driver::region(BufferHandle handle) const
+{
+    if (handle.index < 0 ||
+        static_cast<std::size_t>(handle.index) >= buffers_.size())
+        fatal("Driver: invalid buffer handle");
+    return buffers_[handle.index];
+}
+
+void
+Driver::upload(BufferHandle handle, const void *data, std::size_t len,
+               std::uint64_t offset)
+{
+    const VaRegion &r = region(handle);
+    if (offset + len > r.size)
+        fatal("Driver::upload: out of buffer range");
+    // Uploads are driver-privileged (they bypass access permissions);
+    // regions are contiguous in PA.
+    const Translation t =
+        dev_.page_table().translate(r.base + offset, /*is_write=*/false);
+    if (!t.ok)
+        fatal("Driver::upload: unmapped buffer page");
+    dev_.mem().write(t.paddr, data, len);
+}
+
+void
+Driver::download(BufferHandle handle, void *out, std::size_t len,
+                 std::uint64_t offset) const
+{
+    const VaRegion &r = region(handle);
+    if (offset + len > r.size)
+        fatal("Driver::download: out of buffer range");
+    const Translation t =
+        dev_.page_table().translate(r.base + offset, /*is_write=*/false);
+    dev_.mem().read(t.paddr, out, len);
+}
+
+BufferId
+Driver::assign_unique_id()
+{
+    // Random-but-unique 14-bit IDs (§5.2.4). ID 0 is reserved so a
+    // zeroed RBT entry can never alias a live buffer.
+    if (used_ids_.size() >= id_space_ - 1)
+        fatal("Driver: buffer ID space exhausted");
+    for (int attempts = 0; attempts < 1 << 20; ++attempts) {
+        const auto id =
+            static_cast<BufferId>(1 + rng_.below(id_space_ - 1));
+        if (used_ids_.insert(id).second)
+            return id;
+    }
+    fatal("Driver: buffer ID space exhausted");
+}
+
+std::uint64_t
+Driver::tagged_arg_pointer(const LaunchState &state, const VaRegion &region,
+                           PtrTypeRec type, BufferId id) const
+{
+    if (!state.shield_enabled || type == PtrTypeRec::Unprotected)
+        return make_unprotected_ptr(region.base);
+    if (type == PtrTypeRec::SizedWindow)
+        return make_sized_ptr(region.base, log2_floor(region.reserved));
+    IdCipher cipher(state.secret_key);
+    return make_tagged_ptr(region.base, cipher.encrypt(id));
+}
+
+LaunchState
+Driver::launch(const LaunchConfig &cfg)
+{
+    if (cfg.program == nullptr)
+        fatal("Driver::launch: no program");
+
+    LaunchState state;
+    state.kernel_id = next_kernel_id_++;
+    state.secret_key = rng_.next64();
+    state.ntid = cfg.ntid;
+    state.nctaid = cfg.nctaid;
+    state.program = *cfg.program; // patched copy
+    state.shield_enabled = cfg.shield_enabled;
+
+    const KernelProgram &prog = state.program;
+
+    // --- Static analysis (host-side, Fig. 9 steps 1-3) ---------------
+    StaticLaunchInfo info;
+    info.ntid = cfg.ntid;
+    info.nctaid = cfg.nctaid;
+    info.arg_buffer_sizes.assign(prog.args.size(), 0);
+    info.arg_buffer_pow2.assign(prog.args.size(), false);
+    info.arg_buffer_readonly.assign(prog.args.size(), false);
+    info.scalar_values.assign(prog.args.size(), std::nullopt);
+    for (std::size_t a = 0; a < prog.args.size(); ++a) {
+        const KernelArgSpec &spec = prog.args[a];
+        if (spec.is_pointer) {
+            if (spec.buffer_index < 0 ||
+                static_cast<std::size_t>(spec.buffer_index) >=
+                    cfg.buffers.size())
+                fatal("Driver::launch: unbound pointer argument " +
+                      spec.name);
+            const VaRegion &r = region(cfg.buffers[spec.buffer_index]);
+            info.arg_buffer_sizes[a] = r.size;
+            info.arg_buffer_pow2[a] =
+                buffer_pow2_[cfg.buffers[spec.buffer_index].index];
+            info.arg_buffer_readonly[a] = r.read_only;
+        } else if (a < cfg.scalar_static.size() && cfg.scalar_static[a] &&
+                   a < cfg.scalars.size()) {
+            info.scalar_values[a] = cfg.scalars[a];
+        }
+    }
+    // §6.4: replace redundant software guards before the bounds
+    // analysis (the transformed program is what runs and is analyzed).
+    if (cfg.shield_enabled && cfg.replace_sw_checks) {
+        GuardReplaceResult gr = replace_sw_guards(state.program, info);
+        state.program = std::move(gr.program);
+        state.guards_removed = gr.guards_removed;
+    }
+
+    state.bat = analyze_kernel(prog, info);
+
+    // Patch statically-proven-safe instructions (pointer Type 1).
+    if (cfg.shield_enabled && cfg.use_static_analysis) {
+        for (const BatEntry &e : state.bat.entries)
+            if (e.verdict == Verdict::InBounds)
+                state.program.code[e.pc].check = CheckMode::StaticSafe;
+    }
+
+    // --- RBT + ID assignment (Fig. 9 step 4, Fig. 10) ----------------
+    state.rbt = std::make_unique<RegionBoundsTable>(
+        dev_.mem(), dev_.rbt_base(state.kernel_id));
+    state.rbt->clear_all();
+
+    IdCipher cipher(state.secret_key);
+
+    // --- ID budgeting (§6.3) -----------------------------------------
+    // When the remaining ID space cannot cover this launch, the driver
+    // falls back to sharing one ID (and a merged bounds entry) between
+    // groups of adjacent buffers — coarser but still region-bounded.
+    std::vector<int> ptr_args;
+    for (std::size_t a = 0; a < prog.args.size(); ++a)
+        if (prog.args[a].is_pointer)
+            ptr_args.push_back(static_cast<int>(a));
+    if (prog.args.size() > 128)
+        fatal("Driver::launch: more than 128 kernel arguments (§2.1)");
+
+    const std::size_t fixed_ids =
+        prog.locals.size() + (cfg.heap_bytes > 0 ? 1 : 0);
+    const std::size_t avail =
+        id_space_ - 1 > used_ids_.size()
+            ? id_space_ - 1 - used_ids_.size()
+            : 0;
+    std::size_t group = 1;
+    if (ptr_args.size() + fixed_ids > avail) {
+        if (avail <= fixed_ids)
+            fatal("Driver::launch: buffer ID space exhausted even for "
+                  "locals/heap");
+        const std::size_t slots = avail - fixed_ids;
+        group = (ptr_args.size() + slots - 1) / slots;
+        state.ids_merged = true;
+    }
+
+    // Assign (possibly shared) IDs and bounds per pointer argument.
+    std::vector<BufferId> arg_id(prog.args.size(), 0);
+    std::vector<Bounds> arg_bounds(prog.args.size());
+    std::vector<bool> arg_in_merged_group(prog.args.size(), false);
+    for (std::size_t g = 0; g < ptr_args.size(); g += group) {
+        const BufferId id = assign_unique_id();
+        const std::size_t end = std::min(g + group, ptr_args.size());
+        VAddr lo = ~VAddr{0};
+        VAddr hi = 0;
+        bool single_ro = false;
+        for (std::size_t k = g; k < end; ++k) {
+            const KernelArgSpec &spec = prog.args[ptr_args[k]];
+            const VaRegion &r = region(cfg.buffers[spec.buffer_index]);
+            lo = std::min(lo, r.base);
+            hi = std::max(hi, r.base + r.size);
+            single_ro = r.read_only;
+        }
+        Bounds merged;
+        merged.valid = true;
+        merged.kernel = state.kernel_id;
+        merged.base_addr = lo;
+        merged.size = static_cast<std::uint32_t>(hi - lo);
+        // Read-only is only enforceable for unshared entries.
+        merged.read_only = (end - g == 1) && single_ro;
+        for (std::size_t k = g; k < end; ++k) {
+            arg_id[ptr_args[k]] = id;
+            arg_bounds[ptr_args[k]] = merged;
+            arg_in_merged_group[ptr_args[k]] = end - g > 1;
+        }
+        state.rbt->set(id, merged);
+    }
+
+    // Method A binding table: one entry per pointer argument, in
+    // argument order (§2.2: "the GPU driver assigns buffer IDs based on
+    // the order specified in kernel arguments").
+    for (const int a : ptr_args) {
+        const VaRegion &r =
+            region(cfg.buffers[prog.args[a].buffer_index]);
+        Bounds bt;
+        bt.base_addr = r.base;
+        bt.size = static_cast<std::uint32_t>(r.size);
+        bt.valid = true;
+        bt.read_only = r.read_only;
+        bt.kernel = state.kernel_id;
+        state.binding_table.push_back(bt);
+    }
+
+    // Kernel argument pointers.
+    state.arg_values.assign(prog.args.size(), 0);
+    for (std::size_t a = 0; a < prog.args.size(); ++a) {
+        const KernelArgSpec &spec = prog.args[a];
+        if (!spec.is_pointer) {
+            state.arg_values[a] =
+                a < cfg.scalars.size()
+                    ? static_cast<std::uint64_t>(cfg.scalars[a])
+                    : 0;
+            continue;
+        }
+        const BufferHandle handle = cfg.buffers[spec.buffer_index];
+        const VaRegion &r = region(handle);
+        state.bound_buffers.push_back(handle.index);
+
+        const BaseRef ref{BaseKind::Arg, static_cast<int>(a)};
+        PtrTypeRec type = PtrTypeRec::TaggedId;
+        if (cfg.shield_enabled) {
+            const auto it = state.bat.pointer_types.find(ref);
+            if (it != state.bat.pointer_types.end()) {
+                // Type 1 elision is the static-filtering optimization
+                // and honours the flag; Type 3 is purely an addressing
+                // choice (§5.3.3) and always applies.
+                if (it->second == PtrTypeRec::SizedWindow)
+                    type = PtrTypeRec::SizedWindow;
+                else if (it->second == PtrTypeRec::Unprotected &&
+                         cfg.use_static_analysis)
+                    type = PtrTypeRec::Unprotected;
+            }
+            // Type 3 requires the power-of-two reservation and a
+            // non-merged entry.
+            if (type == PtrTypeRec::SizedWindow &&
+                (!buffer_pow2_[handle.index] || arg_in_merged_group[a]))
+                type = PtrTypeRec::TaggedId;
+        } else {
+            type = PtrTypeRec::Unprotected;
+        }
+
+        const BufferId id = arg_id[a];
+        state.id_map[ref] = id;
+
+        state.arg_values[a] = tagged_arg_pointer(state, r, type, id);
+
+        // Canary fill for Type 3 padding (detected at finish()).
+        if (type == PtrTypeRec::SizedWindow && r.reserved > r.size) {
+            const Translation t = dev_.page_table().translate(
+                r.base + r.size, /*is_write=*/true);
+            dev_.mem().fill(t.paddr, kCanaryByte, r.reserved - r.size);
+        }
+    }
+
+    // Local variables: one region-bounds entry per variable (§5.2.1).
+    const std::uint64_t total_threads =
+        static_cast<std::uint64_t>(cfg.ntid) * cfg.nctaid;
+    state.local_bases.assign(prog.locals.size(), 0);
+    for (std::size_t l = 0; l < prog.locals.size(); ++l) {
+        const LocalVarSpec &lv = prog.locals[l];
+        const std::uint64_t bytes =
+            static_cast<std::uint64_t>(lv.elem_size) * lv.elems *
+            total_threads;
+        const VaRegion r = dev_.local_alloc().alloc(bytes, false, lv.name);
+
+        const BufferId id = assign_unique_id();
+        const BaseRef ref{BaseKind::Local, static_cast<int>(l)};
+        state.id_map[ref] = id;
+        Bounds bounds;
+        bounds.base_addr = r.base;
+        bounds.size = static_cast<std::uint32_t>(r.size);
+        bounds.valid = true;
+        bounds.kernel = state.kernel_id;
+        state.rbt->set(id, bounds);
+
+        state.local_bases[l] =
+            cfg.shield_enabled
+                ? make_tagged_ptr(r.base, cipher.encrypt(id))
+                : make_unprotected_ptr(r.base);
+    }
+
+    // Heap: one coarse entry covering the whole preset heap (§5.2.1).
+    if (cfg.heap_bytes > 0) {
+        const VaRegion r =
+            dev_.heap_alloc().alloc(cfg.heap_bytes, false, "heap");
+        state.heap_base = r.base;
+        state.heap_cursor = r.base;
+        state.heap_bytes = cfg.heap_bytes;
+
+        const BufferId id = assign_unique_id();
+        state.id_map[BaseRef{BaseKind::Heap, -1}] = id;
+        Bounds bounds;
+        bounds.base_addr = r.base;
+        bounds.size = static_cast<std::uint32_t>(cfg.heap_bytes);
+        bounds.valid = true;
+        bounds.kernel = state.kernel_id;
+        state.rbt->set(id, bounds);
+
+        state.heap_base_tagged =
+            cfg.shield_enabled
+                ? make_tagged_ptr(r.base, cipher.encrypt(id))
+                : make_unprotected_ptr(r.base);
+    }
+
+    return state;
+}
+
+std::uint64_t
+Driver::device_malloc(LaunchState &state, std::uint64_t bytes)
+{
+    if (state.heap_bytes == 0)
+        fatal("device_malloc: heap limit not configured "
+              "(cudaLimitMallocHeapSize)");
+    const VAddr at = align_up(state.heap_cursor, 16);
+    if (at + bytes > state.heap_base + state.heap_bytes)
+        return 0; // allocation failure, like CUDA malloc returning NULL
+    state.heap_cursor = at + bytes;
+    // The preassigned heap-region ID is embedded in every heap pointer.
+    const std::uint64_t tag_bits =
+        state.heap_base_tagged & ~kVAddrMask;
+    return tag_bits | (at & kVAddrMask);
+}
+
+std::vector<CanaryReport>
+Driver::finish(LaunchState &state)
+{
+    std::vector<CanaryReport> reports;
+    // Verify Type 3 canary padding.
+    for (std::size_t a = 0; a < state.program.args.size(); ++a) {
+        if (!state.program.args[a].is_pointer)
+            continue;
+        if (ptr_class(state.arg_values[a]) != PtrClass::SizedWindow)
+            continue;
+        // Locate the region via the pointer's base address.
+        const VAddr base = ptr_addr(state.arg_values[a]);
+        const VaRegion *found = nullptr;
+        for (const VaRegion &cand : buffers_) {
+            if (cand.base == base) {
+                found = &cand;
+                break;
+            }
+        }
+        if (found == nullptr || found->reserved <= found->size)
+            continue;
+        const Translation t = dev_.page_table().translate(
+            found->base + found->size, /*is_write=*/false);
+        CanaryReport report;
+        for (std::uint64_t off = 0; off < found->reserved - found->size;
+             ++off) {
+            std::uint8_t byte = 0;
+            dev_.mem().read(t.paddr + off, &byte, 1);
+            if (byte != kCanaryByte) {
+                if (report.corrupt_bytes == 0)
+                    report.first_corrupt = found->base + found->size + off;
+                ++report.corrupt_bytes;
+            }
+        }
+        if (report.corrupt_bytes > 0) {
+            report.buffer_index = static_cast<int>(a);
+            reports.push_back(report);
+        }
+    }
+
+    // Invalidate this kernel's RBT entries and recycle its IDs: the
+    // uniqueness requirement is per concurrently-live kernel, so a
+    // finished kernel's IDs return to the pool (keeping long multi-
+    // launch applications like streamcluster from exhausting the
+    // 14-bit space).
+    state.rbt->clear_all();
+    for (const auto &[ref, id] : state.id_map)
+        used_ids_.erase(id);
+    state.id_map.clear();
+    return reports;
+}
+
+} // namespace gpushield

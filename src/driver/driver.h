@@ -1,0 +1,210 @@
+/**
+ * @file
+ * The GPUShield GPU driver model (§5.4, Figs. 9-10).
+ *
+ * At kernel launch the driver: runs (or consumes) the compiler's BAT,
+ * assigns a random-but-unique 14-bit ID to every kernel buffer, local
+ * variable, and the heap region, generates a per-kernel secret key,
+ * encrypts each ID and embeds it in the buffer's base pointer, allocates
+ * and populates the per-kernel RBT in device memory, and patches
+ * statically-proven-safe instructions so the BCU skips them.
+ *
+ * The driver also owns device-memory allocation, reproducing the
+ * address-space behaviour the paper observed on real CUDA: buffers are
+ * 512B-aligned and packed inside large pages (Fig. 4's overflow cases).
+ */
+
+#ifndef GPUSHIELD_DRIVER_DRIVER_H
+#define GPUSHIELD_DRIVER_DRIVER_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "compiler/bat.h"
+#include "compiler/guard_replace.h"
+#include "compiler/static_analysis.h"
+#include "isa/ir.h"
+#include "mem/page_table.h"
+#include "mem/physical_memory.h"
+#include "shield/rbt.h"
+
+namespace gpushield {
+
+/** One GPU context's functional device state. */
+class GpuDevice
+{
+  public:
+    /** @param page_size device page size (2MB Nvidia-like, 4KB optional) */
+    explicit GpuDevice(std::uint64_t page_size = kPageSize2M);
+
+    PhysicalMemory &mem() { return mem_; }
+    PageTable &page_table() { return pt_; }
+    VaAllocator &global_alloc() { return global_alloc_; }
+    VaAllocator &local_alloc() { return local_alloc_; }
+    VaAllocator &heap_alloc() { return heap_alloc_; }
+
+    /** Physical base for kernel @p kernel's RBT (outside any VA mapping). */
+    PAddr rbt_base(KernelId kernel) const;
+
+  private:
+    PhysicalMemory mem_;
+    PageTable pt_;
+    VaAllocator global_alloc_;
+    VaAllocator local_alloc_;
+    VaAllocator heap_alloc_;
+};
+
+/** Handle to a device buffer created through the driver. */
+struct BufferHandle
+{
+    int index = -1;
+};
+
+/** Launch-time parameters supplied by the host. */
+struct LaunchConfig
+{
+    const KernelProgram *program = nullptr;
+    std::uint32_t ntid = 256;   //!< workgroup size (threads)
+    std::uint32_t nctaid = 1;   //!< number of workgroups
+    /** Buffers bound to the launch; KernelArgSpec::buffer_index picks
+     *  into this list. */
+    std::vector<BufferHandle> buffers;
+    /** Scalar values per kernel-arg position (ignored for pointers). */
+    std::vector<std::int64_t> scalars;
+    /** Scalar args whose values the host passes as compile-time
+     *  constants (visible to the static pass). */
+    std::vector<bool> scalar_static;
+
+    bool shield_enabled = true;        //!< GPUShield on/off (baseline runs)
+    bool use_static_analysis = false;  //!< elide proven-safe checks
+    /** §6.4: remove provably-redundant software guards and let the BCU
+     *  squash the formerly-guarded lanes. */
+    bool replace_sw_checks = false;
+    std::uint64_t heap_bytes = 0;      //!< cudaLimitMallocHeapSize
+};
+
+/** Canary verdicts produced at kernel finish for Type 3 padding. */
+struct CanaryReport
+{
+    int buffer_index = -1;
+    VAddr first_corrupt = 0;
+    std::uint64_t corrupt_bytes = 0;
+};
+
+/** Everything the hardware needs to run one kernel. */
+struct LaunchState
+{
+    KernelId kernel_id = 0;
+    std::uint64_t secret_key = 0;
+    std::uint32_t ntid = 0;
+    std::uint32_t nctaid = 0;
+
+    KernelProgram program;              //!< patched copy (CheckMode set)
+    std::vector<std::uint64_t> arg_values;   //!< tagged ptrs / scalars
+    std::vector<std::uint64_t> local_bases;  //!< tagged local-var bases
+    std::uint64_t heap_base_tagged = 0;      //!< Type 2 ptr over the heap
+
+    std::unique_ptr<RegionBoundsTable> rbt;
+    BoundsAnalysisTable bat;
+
+    /**
+     * Method A binding table (Fig. 2 / Intel BTS): entry i holds the
+     * bounds of the i-th pointer argument. Populated for every launch;
+     * kernels using ld_bt/st_bt address through it, and the BCU checks
+     * those accesses against the entry directly (no RBT traffic).
+     */
+    std::vector<Bounds> binding_table;
+
+    /** BaseRef -> assigned (plaintext) buffer ID, for tests/tools. */
+    std::map<BaseRef, BufferId> id_map;
+    /** Buffer list indices bound to this launch (arg order). */
+    std::vector<int> bound_buffers;
+
+    bool shield_enabled = true;
+
+    /** §6.3 fallback engaged: adjacent buffers share merged entries. */
+    bool ids_merged = false;
+
+    /** §6.4: software guards removed by the compiler pass. */
+    unsigned guards_removed = 0;
+
+    /** Heap bump cursor (device-side malloc). */
+    VAddr heap_cursor = 0;
+    VAddr heap_base = 0;
+    std::uint64_t heap_bytes = 0;
+};
+
+/** The GPUShield driver. */
+class Driver
+{
+  public:
+    /**
+     * @param id_space number of usable buffer IDs (default: the full
+     *        14-bit space). Shrinkable for testing the §6.3 low-ID
+     *        fallback, where adjacent buffers share a merged entry.
+     */
+    Driver(GpuDevice &dev, std::uint64_t seed = 0xD81EE5ull,
+           std::size_t id_space = kNumBufferIds);
+
+    /**
+     * Allocates a device buffer (512B-aligned, packed). @p pow2 reserves
+     * a power-of-two window with canary padding (Type 3 eligible).
+     */
+    BufferHandle create_buffer(std::uint64_t size, bool read_only = false,
+                               bool pow2 = false, std::string label = {});
+
+    /** Region descriptor of @p handle. */
+    const VaRegion &region(BufferHandle handle) const;
+
+    /** Fills a buffer with host data. */
+    void upload(BufferHandle handle, const void *data, std::size_t len,
+                std::uint64_t offset = 0);
+
+    /** Reads a buffer back to the host. */
+    void download(BufferHandle handle, void *out, std::size_t len,
+                  std::uint64_t offset = 0) const;
+
+    /**
+     * Sets up a kernel launch per Fig. 9: static analysis, ID assignment,
+     * encryption, RBT population, instruction patching.
+     */
+    LaunchState launch(const LaunchConfig &cfg);
+
+    /**
+     * Kernel-completion hook: verifies Type 3 canary padding and
+     * invalidates the kernel's RBT entries.
+     */
+    std::vector<CanaryReport> finish(LaunchState &state);
+
+    /** Device-side malloc servicing the Malloc IR op. */
+    std::uint64_t device_malloc(LaunchState &state, std::uint64_t bytes);
+
+    GpuDevice &device() { return dev_; }
+
+  private:
+    BufferId assign_unique_id();
+    std::uint64_t tagged_arg_pointer(const LaunchState &state,
+                                     const VaRegion &region,
+                                     PtrTypeRec type, BufferId id) const;
+
+    GpuDevice &dev_;
+    Rng rng_;
+    std::size_t id_space_;
+    std::vector<VaRegion> buffers_;
+    std::vector<bool> buffer_pow2_;
+    std::unordered_set<std::uint16_t> used_ids_;
+    KernelId next_kernel_id_ = 1;
+
+    static constexpr std::uint8_t kCanaryByte = 0xC3;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_DRIVER_DRIVER_H

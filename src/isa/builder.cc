@@ -1,0 +1,473 @@
+#include "isa/builder.h"
+
+#include "common/log.h"
+
+namespace gpushield {
+
+KernelBuilder::KernelBuilder(std::string name)
+{
+    prog_.name = std::move(name);
+}
+
+int
+KernelBuilder::arg_ptr(const std::string &name, int buffer_index)
+{
+    KernelArgSpec spec;
+    spec.is_pointer = true;
+    spec.buffer_index =
+        buffer_index >= 0 ? buffer_index : static_cast<int>(prog_.args.size());
+    spec.name = name;
+    prog_.args.push_back(spec);
+    return static_cast<int>(prog_.args.size()) - 1;
+}
+
+int
+KernelBuilder::arg_scalar(const std::string &name)
+{
+    KernelArgSpec spec;
+    spec.is_pointer = false;
+    spec.name = name;
+    prog_.args.push_back(spec);
+    return static_cast<int>(prog_.args.size()) - 1;
+}
+
+int
+KernelBuilder::local(const std::string &name, std::uint32_t elem_size,
+                     std::uint32_t elems)
+{
+    LocalVarSpec spec;
+    spec.elem_size = elem_size;
+    spec.elems = elems;
+    spec.name = name;
+    prog_.locals.push_back(spec);
+    return static_cast<int>(prog_.locals.size()) - 1;
+}
+
+void
+KernelBuilder::shared_mem(std::uint32_t bytes)
+{
+    prog_.shared_bytes = bytes;
+}
+
+int
+KernelBuilder::reg()
+{
+    return prog_.num_regs++;
+}
+
+int
+KernelBuilder::pred()
+{
+    return prog_.num_preds++;
+}
+
+int
+KernelBuilder::emit(Instr in)
+{
+    prog_.code.push_back(in);
+    return static_cast<int>(prog_.code.size()) - 1;
+}
+
+int
+KernelBuilder::mov_imm(std::int64_t v)
+{
+    Instr in;
+    in.op = Op::Mov;
+    in.rd = reg();
+    in.imm = v;
+    emit(in);
+    return in.rd;
+}
+
+void
+KernelBuilder::mov(int rd, int ra)
+{
+    Instr in;
+    in.op = Op::Mov;
+    in.rd = rd;
+    in.ra = ra;
+    emit(in);
+}
+
+int
+KernelBuilder::alu(Op op, int ra, int rb)
+{
+    Instr in;
+    in.op = op;
+    in.rd = reg();
+    in.ra = ra;
+    in.rb = rb;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::alui(Op op, int ra, std::int64_t imm)
+{
+    Instr in;
+    in.op = op;
+    in.rd = reg();
+    in.ra = ra;
+    in.imm = imm;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::mad(int ra, int rb, int rc)
+{
+    Instr in;
+    in.op = Op::Mad;
+    in.rd = reg();
+    in.ra = ra;
+    in.rb = rb;
+    in.rc = rc;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::sreg(SpecialReg s)
+{
+    Instr in;
+    in.op = Op::Sreg;
+    in.rd = reg();
+    in.sreg = s;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::ldarg(int arg_index)
+{
+    Instr in;
+    in.op = Op::Ldarg;
+    in.rd = reg();
+    in.arg_index = arg_index;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::ldloc(int local_index)
+{
+    Instr in;
+    in.op = Op::Ldloc;
+    in.rd = reg();
+    in.arg_index = local_index;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::malloc_heap(int size_reg)
+{
+    Instr in;
+    in.op = Op::Malloc;
+    in.rd = reg();
+    in.ra = size_reg;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::gep(int base, int index, std::uint32_t scale, std::int64_t disp)
+{
+    Instr in;
+    in.op = Op::Gep;
+    in.rd = reg();
+    in.ra = base;
+    in.rb = index;
+    in.scale = scale;
+    in.disp = disp;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::ld(int addr, std::uint8_t size, MemSpace space)
+{
+    Instr in;
+    in.op = Op::Ld;
+    in.rd = reg();
+    in.ra = addr;
+    in.size = size;
+    in.space = space;
+    emit(in);
+    return in.rd;
+}
+
+void
+KernelBuilder::st(int addr, int src, std::uint8_t size, MemSpace space)
+{
+    Instr in;
+    in.op = Op::St;
+    in.ra = addr;
+    in.rb = src;
+    in.size = size;
+    in.space = space;
+    emit(in);
+}
+
+int
+KernelBuilder::ld_bo(int base, int index, std::uint32_t scale,
+                     std::int64_t disp, std::uint8_t size, MemSpace space)
+{
+    Instr in;
+    in.op = Op::Ld;
+    in.rd = reg();
+    in.ra = base;
+    in.rb = index;
+    in.scale = scale;
+    in.disp = disp;
+    in.size = size;
+    in.space = space;
+    in.base_offset = true;
+    emit(in);
+    return in.rd;
+}
+
+void
+KernelBuilder::st_bo(int base, int index, std::uint32_t scale, int src,
+                     std::int64_t disp, std::uint8_t size, MemSpace space)
+{
+    Instr in;
+    in.op = Op::St;
+    in.ra = base;
+    in.rb = index;
+    in.rc = src;
+    in.scale = scale;
+    in.disp = disp;
+    in.size = size;
+    in.space = space;
+    in.base_offset = true;
+    emit(in);
+}
+
+int
+KernelBuilder::ld_bt(int bti, int index, std::uint32_t scale,
+                     std::int64_t disp, std::uint8_t size)
+{
+    Instr in;
+    in.op = Op::Ld;
+    in.rd = reg();
+    in.rb = index;
+    in.scale = scale;
+    in.disp = disp;
+    in.size = size;
+    in.base_offset = true;
+    in.bt_index = bti;
+    emit(in);
+    return in.rd;
+}
+
+void
+KernelBuilder::st_bt(int bti, int index, std::uint32_t scale, int src,
+                     std::int64_t disp, std::uint8_t size)
+{
+    Instr in;
+    in.op = Op::St;
+    in.rb = index;
+    in.rc = src;
+    in.scale = scale;
+    in.disp = disp;
+    in.size = size;
+    in.base_offset = true;
+    in.bt_index = bti;
+    emit(in);
+}
+
+int
+KernelBuilder::lds(int addr, std::uint8_t size)
+{
+    Instr in;
+    in.op = Op::Lds;
+    in.rd = reg();
+    in.ra = addr;
+    in.size = size;
+    in.space = MemSpace::Shared;
+    emit(in);
+    return in.rd;
+}
+
+void
+KernelBuilder::sts(int addr, int src, std::uint8_t size)
+{
+    Instr in;
+    in.op = Op::Sts;
+    in.ra = addr;
+    in.rb = src;
+    in.size = size;
+    in.space = MemSpace::Shared;
+    emit(in);
+}
+
+int
+KernelBuilder::setp(Cmp cmp, int ra, int rb)
+{
+    Instr in;
+    in.op = Op::Setp;
+    in.rd = pred();
+    in.ra = ra;
+    in.rb = rb;
+    in.cmp = cmp;
+    emit(in);
+    return in.rd;
+}
+
+int
+KernelBuilder::setpi(Cmp cmp, int ra, std::int64_t imm)
+{
+    Instr in;
+    in.op = Op::Setp;
+    in.rd = pred();
+    in.ra = ra;
+    in.imm = imm;
+    in.cmp = cmp;
+    emit(in);
+    return in.rd;
+}
+
+void
+KernelBuilder::bar()
+{
+    Instr in;
+    in.op = Op::Bar;
+    emit(in);
+}
+
+void
+KernelBuilder::exit()
+{
+    Instr in;
+    in.op = Op::Exit;
+    emit(in);
+}
+
+void
+KernelBuilder::nop()
+{
+    Instr in;
+    emit(in);
+}
+
+Label
+KernelBuilder::new_label()
+{
+    label_pos_.push_back(-1);
+    return Label{static_cast<int>(label_pos_.size()) - 1};
+}
+
+void
+KernelBuilder::bind(Label l)
+{
+    if (l.id < 0 || static_cast<std::size_t>(l.id) >= label_pos_.size())
+        panic("KernelBuilder: binding unknown label");
+    if (label_pos_[l.id] != -1)
+        panic("KernelBuilder: label bound twice");
+    label_pos_[l.id] = static_cast<int>(prog_.code.size());
+}
+
+void
+KernelBuilder::ssy(Label reconv)
+{
+    Instr in;
+    in.op = Op::Ssy;
+    const int idx = emit(in);
+    fixups_.emplace_back(idx, reconv.id);
+}
+
+void
+KernelBuilder::bra(Label target, int pred, bool neg)
+{
+    Instr in;
+    in.op = Op::Bra;
+    in.pred = pred;
+    in.neg_pred = neg;
+    const int idx = emit(in);
+    fixups_.emplace_back(idx, target.id);
+}
+
+void
+KernelBuilder::if_then(int pred, bool neg, const std::function<void()> &body)
+{
+    // Lanes failing the condition jump straight to the reconvergence point.
+    Label endif = new_label();
+    ssy(endif);
+    bra(endif, pred, !neg);
+    body();
+    bind(endif);
+    nop(); // reconvergence anchor
+}
+
+void
+KernelBuilder::if_then_else(int pred, const std::function<void()> &then_body,
+                            const std::function<void()> &else_body)
+{
+    Label else_lbl = new_label();
+    Label endif = new_label();
+    ssy(endif);
+    bra(else_lbl, pred, /*neg=*/true);
+    then_body();
+    bra(endif);
+    bind(else_lbl);
+    else_body();
+    bind(endif);
+    nop();
+}
+
+void
+KernelBuilder::loop_count(int count_reg, const std::function<void(int)> &body)
+{
+    const int i = mov_imm(0);
+    Label exit_lbl = new_label();
+    Label head = new_label();
+    ssy(exit_lbl);
+    // Skip the loop entirely for lanes with count <= 0.
+    const int enter = setp(Cmp::Lt, i, count_reg);
+    bra(exit_lbl, enter, /*neg=*/true);
+    bind(head);
+    body(i);
+    {
+        Instr inc;
+        inc.op = Op::Add;
+        inc.rd = i;
+        inc.ra = i;
+        inc.imm = 1;
+        emit(inc);
+    }
+    const int again = setp(Cmp::Lt, i, count_reg);
+    bra(head, again);
+    bind(exit_lbl);
+    nop(); // reconvergence anchor
+}
+
+void
+KernelBuilder::loop_n(std::int64_t n, const std::function<void(int)> &body)
+{
+    const int count = mov_imm(n);
+    loop_count(count, body);
+}
+
+KernelProgram
+KernelBuilder::finish()
+{
+    if (finished_)
+        panic("KernelBuilder: finish() called twice");
+    finished_ = true;
+    for (const auto &[instr_idx, label_id] : fixups_) {
+        const int pos = label_pos_[label_id];
+        if (pos < 0)
+            panic("KernelBuilder: unbound label in " + prog_.name);
+        prog_.code[instr_idx].target = pos;
+    }
+    if (prog_.code.empty() || prog_.code.back().op != Op::Exit) {
+        Instr in;
+        in.op = Op::Exit;
+        prog_.code.push_back(in);
+    }
+    prog_.validate();
+    return std::move(prog_);
+}
+
+} // namespace gpushield

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Convenience builder for kernel IR programs.
+ *
+ * Provides SSA-flavoured register allocation, label fixups, and structured
+ * control-flow helpers (predicated if/else, counted loops) that emit the
+ * SSY/BRA discipline the SIMT reconvergence stack expects.
+ */
+
+#ifndef GPUSHIELD_ISA_BUILDER_H
+#define GPUSHIELD_ISA_BUILDER_H
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/ir.h"
+
+namespace gpushield {
+
+/** An unresolved branch target. */
+struct Label
+{
+    int id = -1;
+};
+
+/** Incremental builder producing a validated KernelProgram. */
+class KernelBuilder
+{
+  public:
+    explicit KernelBuilder(std::string name);
+
+    /// @name Declarations
+    /// @{
+    /** Declares a pointer kernel argument bound to launch buffer slot
+     *  @p buffer_index (defaults to the argument's own position). */
+    int arg_ptr(const std::string &name, int buffer_index = -1);
+    /** Declares a scalar kernel argument. */
+    int arg_scalar(const std::string &name);
+    /** Declares a per-thread local (off-chip stack) array. */
+    int local(const std::string &name, std::uint32_t elem_size,
+              std::uint32_t elems);
+    /** Reserves @p bytes of per-workgroup shared scratchpad. */
+    void shared_mem(std::uint32_t bytes);
+    /// @}
+
+    /// @name Registers
+    /// @{
+    int reg();  //!< allocates a fresh general register
+    int pred(); //!< allocates a fresh predicate register
+    /// @}
+
+    /// @name Instruction emitters (return destination register)
+    /// @{
+    int mov_imm(std::int64_t v);
+    void mov(int rd, int ra);
+    int alu(Op op, int ra, int rb);
+    int alui(Op op, int ra, std::int64_t imm);
+    int mad(int ra, int rb, int rc);
+    int sreg(SpecialReg s);
+    int ldarg(int arg_index);
+    int ldloc(int local_index);
+    int malloc_heap(int size_reg);
+    int gep(int base, int index, std::uint32_t scale, std::int64_t disp = 0);
+    int ld(int addr, std::uint8_t size = 4, MemSpace space = MemSpace::Global);
+    void st(int addr, int src, std::uint8_t size = 4,
+            MemSpace space = MemSpace::Global);
+    /** Base+offset load: rd = mem[base + index*scale + disp] (Method C). */
+    int ld_bo(int base, int index, std::uint32_t scale, std::int64_t disp = 0,
+              std::uint8_t size = 4, MemSpace space = MemSpace::Global);
+    /** Base+offset store: mem[base + index*scale + disp] = src. */
+    void st_bo(int base, int index, std::uint32_t scale, int src,
+               std::int64_t disp = 0, std::uint8_t size = 4,
+               MemSpace space = MemSpace::Global);
+    /** Binding-table load (Method A, Intel send): rd =
+     *  mem[BT[bti].base + index*scale + disp]. */
+    int ld_bt(int bti, int index, std::uint32_t scale,
+              std::int64_t disp = 0, std::uint8_t size = 4);
+    /** Binding-table store: mem[BT[bti].base + index*scale + disp] = src. */
+    void st_bt(int bti, int index, std::uint32_t scale, int src,
+               std::int64_t disp = 0, std::uint8_t size = 4);
+    int lds(int addr, std::uint8_t size = 4);
+    void sts(int addr, int src, std::uint8_t size = 4);
+    int setp(Cmp cmp, int ra, int rb);
+    int setpi(Cmp cmp, int ra, std::int64_t imm);
+    void bar();
+    void exit();
+    void nop();
+    /// @}
+
+    /// @name Raw control flow
+    /// @{
+    Label new_label();
+    void bind(Label l);
+    void ssy(Label reconv);
+    void bra(Label target, int pred = kNoReg, bool neg = false);
+    /// @}
+
+    /// @name Structured control flow
+    /// @{
+    /** if (pred) body();  (or !pred when @p neg) */
+    void if_then(int pred, bool neg, const std::function<void()> &body);
+    /** if (pred) then_body(); else else_body(); */
+    void if_then_else(int pred, const std::function<void()> &then_body,
+                      const std::function<void()> &else_body);
+    /**
+     * for (i = 0; i < count_reg; ++i) body(i_reg);
+     * The trip count may differ per lane; divergence is handled by the
+     * backward-branch mask-shrink rule.
+     */
+    void loop_count(int count_reg, const std::function<void(int)> &body);
+    /** Counted loop with an immediate trip count. */
+    void loop_n(std::int64_t n, const std::function<void(int)> &body);
+    /// @}
+
+    /** Resolves labels, validates, and returns the finished program. */
+    KernelProgram finish();
+
+  private:
+    int emit(Instr in); //!< returns instruction index
+
+    KernelProgram prog_;
+    std::vector<int> label_pos_;           //!< label id -> instr index
+    std::vector<std::pair<int, int>> fixups_; //!< (instr index, label id)
+    bool finished_ = false;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_ISA_BUILDER_H

@@ -1,0 +1,99 @@
+#include "mem/dram.h"
+
+#include <algorithm>
+
+namespace gpushield {
+
+Dram::Dram(EventQueue &eq, const DramConfig &cfg)
+    : eq_(eq), cfg_(cfg), channels_(cfg.channels)
+{
+    for (Channel &ch : channels_)
+        ch.open_row.assign(cfg_.banks_per_channel, ~std::uint64_t{0});
+}
+
+unsigned
+Dram::channel_of(PAddr paddr) const
+{
+    // Interleave channels at line granularity for bandwidth spreading.
+    return static_cast<unsigned>((paddr / kLineSize) % cfg_.channels);
+}
+
+unsigned
+Dram::bank_of(PAddr paddr) const
+{
+    return static_cast<unsigned>(
+        (paddr / cfg_.row_bytes) % cfg_.banks_per_channel);
+}
+
+std::uint64_t
+Dram::row_of(PAddr paddr) const
+{
+    return paddr / cfg_.row_bytes / cfg_.banks_per_channel;
+}
+
+void
+Dram::enqueue(PAddr paddr, bool is_write, Callback done)
+{
+    const unsigned ch_idx = channel_of(paddr);
+    Channel &ch = channels_[ch_idx];
+    stats_.add("requests");
+    if (ch.queue.size() >= cfg_.queue_capacity)
+        stats_.add("queue_full");
+
+    ch.queue.push_back(Request{paddr, is_write, next_seq_++, std::move(done)});
+    if (!ch.busy)
+        service_next(ch_idx);
+}
+
+void
+Dram::service_next(unsigned ch_idx)
+{
+    Channel &ch = channels_[ch_idx];
+    if (ch.queue.empty()) {
+        ch.busy = false;
+        return;
+    }
+    ch.busy = true;
+
+    // FR-FCFS: prefer the oldest request whose row is already open in its
+    // bank; otherwise take the oldest request.
+    auto best = ch.queue.end();
+    for (auto it = ch.queue.begin(); it != ch.queue.end(); ++it) {
+        const unsigned bank = bank_of(it->paddr);
+        if (ch.open_row[bank] == row_of(it->paddr)) {
+            best = it;
+            break;
+        }
+    }
+    if (best == ch.queue.end())
+        best = ch.queue.begin();
+
+    Request req = std::move(*best);
+    ch.queue.erase(best);
+
+    const unsigned bank = bank_of(req.paddr);
+    const std::uint64_t row = row_of(req.paddr);
+    const bool row_hit = ch.open_row[bank] == row;
+    ch.open_row[bank] = row;
+    stats_.add(row_hit ? "row_hits" : "row_misses");
+
+    const Cycle access = row_hit ? cfg_.row_hit_latency : cfg_.row_miss_latency;
+    const Cycle total = access + cfg_.burst_cycles;
+
+    eq_.schedule_in(total, [this, ch_idx, done = std::move(req.done)]() mutable {
+        if (done)
+            done();
+        service_next(ch_idx);
+    });
+}
+
+bool
+Dram::idle() const
+{
+    return std::all_of(channels_.begin(), channels_.end(),
+                       [](const Channel &ch) {
+                           return !ch.busy && ch.queue.empty();
+                       });
+}
+
+} // namespace gpushield

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * DRAM channel model with FR-FCFS scheduling and row-buffer state.
+ *
+ * Matches the paper's memory configuration (Table 5): 2KB row buffer,
+ * FR-FCFS policy, 16 channels. Each channel services one request at a
+ * time; a request's latency depends on whether it hits the open row of
+ * its bank.
+ */
+
+#ifndef GPUSHIELD_MEM_DRAM_H
+#define GPUSHIELD_MEM_DRAM_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace gpushield {
+
+/** DRAM timing and geometry parameters (in core cycles). */
+struct DramConfig
+{
+    unsigned channels = 16;
+    unsigned banks_per_channel = 8;
+    std::uint64_t row_bytes = 2048;
+    Cycle row_hit_latency = 40;    //!< CAS
+    Cycle row_miss_latency = 100;  //!< PRE + ACT + CAS
+    Cycle burst_cycles = 4;        //!< data-bus occupancy per 128B transfer
+    unsigned queue_capacity = 64;  //!< per-channel request queue depth
+};
+
+/** FR-FCFS memory controller over N channels. */
+class Dram
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Dram(EventQueue &eq, const DramConfig &cfg);
+
+    /**
+     * Enqueues a request for the line at @p paddr. @p done runs when the
+     * data transfer completes. If the channel queue is full the request
+     * is still accepted but charged an extra full-service delay,
+     * approximating back-pressure.
+     */
+    void enqueue(PAddr paddr, bool is_write, Callback done);
+
+    /** True when all channels are idle with empty queues. */
+    bool idle() const;
+
+    const DramConfig &config() const { return cfg_; }
+    const StatSet &stats() const { return stats_; }
+
+  private:
+    struct Request
+    {
+        PAddr paddr = 0;
+        bool is_write = false;
+        std::uint64_t seq = 0;
+        Callback done;
+    };
+
+    struct Channel
+    {
+        std::deque<Request> queue;
+        std::vector<std::uint64_t> open_row; //!< per-bank open row (~0 closed)
+        bool busy = false;
+    };
+
+    unsigned channel_of(PAddr paddr) const;
+    unsigned bank_of(PAddr paddr) const;
+    std::uint64_t row_of(PAddr paddr) const;
+
+    /** Starts servicing the best queued request of channel @p ch. */
+    void service_next(unsigned ch);
+
+    EventQueue &eq_;
+    DramConfig cfg_;
+    std::vector<Channel> channels_;
+    std::uint64_t next_seq_ = 0;
+    StatSet stats_;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_MEM_DRAM_H

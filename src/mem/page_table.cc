@@ -1,0 +1,114 @@
+#include "mem/page_table.h"
+
+#include "common/log.h"
+
+namespace gpushield {
+
+PageTable::PageTable(std::uint64_t page_size)
+    : page_size_(page_size)
+{
+    if (!is_pow2(page_size))
+        fatal("PageTable: page size must be a power of two");
+}
+
+void
+PageTable::map(VAddr vaddr, PAddr paddr, PageFlags flags)
+{
+    entries_[page_key(vaddr)] = Entry{align_down(paddr, page_size_), flags};
+}
+
+void
+PageTable::unmap(VAddr vaddr)
+{
+    entries_.erase(page_key(vaddr));
+}
+
+Translation
+PageTable::translate(VAddr vaddr, bool is_write) const
+{
+    Translation t;
+    const auto it = entries_.find(page_key(vaddr));
+    if (it == entries_.end())
+        return t;
+    const Entry &e = it->second;
+    if (e.flags.system_reserved || (is_write && !e.flags.writable) ||
+        (!is_write && !e.flags.readable)) {
+        t.permission_fault = true;
+        return t;
+    }
+    t.ok = true;
+    t.paddr = e.frame + (vaddr % page_size_);
+    return t;
+}
+
+bool
+PageTable::is_mapped(VAddr vaddr) const
+{
+    return entries_.count(page_key(vaddr)) != 0;
+}
+
+VaAllocator::VaAllocator(PageTable &pt, VAddr va_base, PAddr pa_base,
+                         std::uint64_t alloc_align)
+    : pt_(pt), va_base_(va_base), pa_base_(pa_base),
+      alloc_align_(alloc_align), cursor_(va_base)
+{
+    if (!is_pow2(alloc_align))
+        fatal("VaAllocator: alignment must be a power of two");
+}
+
+VaRegion
+VaAllocator::alloc(std::uint64_t size, bool read_only, std::string label)
+{
+    if (size == 0)
+        fatal("VaAllocator: zero-size allocation");
+    const VAddr base = align_up(cursor_, alloc_align_);
+    const std::uint64_t reserved = align_up(size, alloc_align_);
+    return alloc_at(base, size, reserved, read_only, std::move(label));
+}
+
+VaRegion
+VaAllocator::alloc_pow2(std::uint64_t size, bool read_only, std::string label)
+{
+    if (size == 0)
+        fatal("VaAllocator: zero-size allocation");
+    const std::uint64_t reserved =
+        std::uint64_t{1} << log2_ceil(std::max<std::uint64_t>(size, alloc_align_));
+    const VAddr base = align_up(cursor_, reserved);
+    return alloc_at(base, size, reserved, read_only, std::move(label));
+}
+
+VaRegion
+VaAllocator::alloc_at(VAddr base, std::uint64_t size, std::uint64_t reserved,
+                      bool read_only, std::string label)
+{
+    VaRegion region;
+    region.base = base;
+    region.size = size;
+    region.reserved = reserved;
+    region.read_only = read_only;
+    region.label = std::move(label);
+
+    back_range(base, base + reserved, read_only);
+    cursor_ = base + reserved;
+    regions_.push_back(region);
+    return region;
+}
+
+void
+VaAllocator::back_range(VAddr lo, VAddr hi, bool read_only)
+{
+    const std::uint64_t page = pt_.page_size();
+    for (VAddr v = align_down(lo, page); v < hi; v += page) {
+        if (pt_.is_mapped(v))
+            continue;
+        // Buffers pack many-per-page, so pages stay writable even when
+        // an individual buffer is read-only: per-buffer read-only
+        // enforcement is the BCU's job (the Bounds read_only bit),
+        // matching how constant/texture data shares pages on real GPUs.
+        (void)read_only;
+        PageFlags flags;
+        pt_.map(v, pa_base_ + (v - va_base_), flags);
+    }
+}
+
+} // namespace gpushield

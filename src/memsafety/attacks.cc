@@ -1,0 +1,199 @@
+#include "memsafety/attacks.h"
+
+#include "isa/builder.h"
+#include "sim/gpu.h"
+
+namespace gpushield::memsafety {
+
+namespace {
+
+/** Single-thread kernel storing 0xBAD at A[elem_offset]. */
+KernelProgram
+make_oob_store(std::int64_t elem_offset)
+{
+    KernelBuilder b("kernel_overflow");
+    const int a = b.arg_ptr("A");
+    const int base = b.ldarg(a);
+    const int idx = b.mov_imm(elem_offset);
+    const int addr = b.gep(base, idx, 4);
+    const int v = b.mov_imm(0xBAD);
+    b.st(addr, v, 4);
+    b.exit();
+    return b.finish();
+}
+
+/** Runs a one-thread kernel against buffers A,B; reports the outcome. */
+OverflowCase
+run_case(const GpuConfig &cfg, bool shield, std::int64_t elem_offset,
+         std::string label)
+{
+    GpuDevice dev(cfg.mem.page_size);
+    Driver driver(dev);
+
+    const BufferHandle a = driver.create_buffer(sizeof(std::int32_t) * 0x10,
+                                                false, false, "A");
+    const BufferHandle bb = driver.create_buffer(sizeof(std::int32_t) * 0x10,
+                                                 false, false, "B");
+    const std::int32_t sentinel = 0x5AFE;
+    std::int32_t init[0x10];
+    for (auto &v : init)
+        v = sentinel;
+    driver.upload(a, init, sizeof(init));
+    driver.upload(bb, init, sizeof(init));
+
+    const KernelProgram prog = make_oob_store(elem_offset);
+    LaunchConfig lc;
+    lc.program = &prog;
+    lc.ntid = 1;
+    lc.nctaid = 1;
+    lc.buffers = {a, bb};
+    lc.shield_enabled = shield;
+
+    Gpu gpu(cfg, driver);
+    const std::size_t idx = gpu.launch(driver.launch(lc));
+    gpu.run();
+    const KernelResult result = gpu.result(idx);
+    driver.finish(gpu.launch_state(idx));
+
+    OverflowCase out;
+    out.label = std::move(label);
+    out.kernel_aborted = result.aborted;
+    out.detected = !result.violations.empty();
+    out.violations = result.violations.size();
+
+    std::int32_t b0 = 0;
+    driver.download(bb, &b0, sizeof(b0));
+    out.neighbor_corrupted = b0 != sentinel;
+    return out;
+}
+
+} // namespace
+
+Fig4Outcome
+run_fig4(const GpuConfig &cfg, bool shield)
+{
+    Fig4Outcome out;
+    // Case 1: A[0x10] — one element past the 64B buffer, still inside
+    // the 512B-aligned reservation.
+    out.within_alignment = run_case(cfg, shield, 0x10, "within-512B");
+    // Case 2: A[0x80] — 512B past the base: exactly buffer B.
+    out.within_page = run_case(cfg, shield, 0x80, "within-2MB");
+    // Case 3: A[0x80000] — 2MB past the base: unmapped page.
+    out.crossing_page = run_case(cfg, shield, 0x80000, "crossing-2MB");
+    return out;
+}
+
+ForgeOutcome
+run_pointer_forging(const GpuConfig &cfg, bool shield)
+{
+    GpuDevice dev(cfg.mem.page_size);
+    Driver driver(dev);
+
+    const BufferHandle mine = driver.create_buffer(64, false, false, "mine");
+    const BufferHandle victim =
+        driver.create_buffer(64, false, false, "victim");
+    const std::int32_t sentinel = 0x7E57;
+    std::int32_t init[16];
+    for (auto &v : init)
+        v = sentinel;
+    driver.upload(victim, init, sizeof(init));
+
+    // The attacker rewrites their pointer: flip ID-field bits and point
+    // the address bits at the victim (layout is known: consecutive
+    // 512B-aligned allocations).
+    KernelBuilder b("forge");
+    const int own = b.arg_ptr("mine");
+    const int victim_base = b.arg_scalar("victim_base");
+    const int p = b.ldarg(own);
+    // Keep the tag class/field bits but perturb the embedded ID.
+    const int perturbed =
+        b.alui(Op::Xor, p, std::int64_t{0x1555} << 48);
+    const int tag_only = b.alui(
+        Op::And, perturbed,
+        static_cast<std::int64_t>(0xFFFF000000000000ull));
+    const int vb = b.ldarg(victim_base);
+    const int forged = b.alu(Op::Or, tag_only, vb);
+    const int payload = b.mov_imm(0xDEAD);
+    b.st(forged, payload, 4);
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    LaunchConfig lc;
+    lc.program = &prog;
+    lc.ntid = 1;
+    lc.nctaid = 1;
+    lc.buffers = {mine, victim};
+    lc.scalars = {0,
+                  static_cast<std::int64_t>(driver.region(victim).base)};
+    lc.shield_enabled = shield;
+
+    Gpu gpu(cfg, driver);
+    const std::size_t idx = gpu.launch(driver.launch(lc));
+    gpu.run();
+    const KernelResult result = gpu.result(idx);
+    driver.finish(gpu.launch_state(idx));
+
+    ForgeOutcome out;
+    out.detected = !result.violations.empty();
+    if (out.detected)
+        out.kind = result.violations.front().kind;
+    std::int32_t v0 = 0;
+    driver.download(victim, &v0, sizeof(v0));
+    out.victim_intact = v0 == sentinel;
+    return out;
+}
+
+MindControlOutcome
+run_mind_control(const GpuConfig &cfg, bool shield)
+{
+    GpuDevice dev(cfg.mem.page_size);
+    Driver driver(dev);
+
+    // Victim layout: a 256B data buffer followed by a dispatch table
+    // whose first slot holds a "function pointer".
+    const BufferHandle data = driver.create_buffer(256, false, false, "data");
+    const BufferHandle table =
+        driver.create_buffer(64, false, false, "dispatch");
+    const std::int64_t benign_fptr = 0x1111'2222;
+    driver.upload(table, &benign_fptr, sizeof(benign_fptr));
+
+    // The attacker controls the length input: 80 elements x 4B = 320B,
+    // 64B past the data buffer — with 512B-aligned packing that reaches
+    // the reservation padding, so target the table directly at +512B:
+    // elements [0, len) with len = 160 covers data + padding + table.
+    KernelBuilder b("mind_control_setup");
+    const int d = b.arg_ptr("data");
+    const int len_arg = b.arg_scalar("len");
+    const int base = b.ldarg(d);
+    const int len = b.ldarg(len_arg);
+    b.loop_count(len, [&](int i) {
+        const int addr = b.gep(base, i, 4);
+        const int payload = b.mov_imm(0x41414141);
+        b.st(addr, payload, 4);
+    });
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    LaunchConfig lc;
+    lc.program = &prog;
+    lc.ntid = 1;
+    lc.nctaid = 1;
+    lc.buffers = {data, table};
+    lc.scalars = {0, 160}; // malicious input: 160 > 64 elements
+    lc.shield_enabled = shield;
+
+    Gpu gpu(cfg, driver);
+    const std::size_t idx = gpu.launch(driver.launch(lc));
+    gpu.run();
+    const KernelResult result = gpu.result(idx);
+    driver.finish(gpu.launch_state(idx));
+
+    MindControlOutcome out;
+    out.detected = !result.violations.empty();
+    std::int64_t fptr = 0;
+    driver.download(table, &fptr, sizeof(fptr));
+    out.fptr_overwritten = fptr != benign_fptr;
+    return out;
+}
+
+} // namespace gpushield::memsafety

@@ -1,0 +1,200 @@
+#include "shield/bcu.h"
+
+#include <algorithm>
+
+#include "common/bitutil.h"
+#include "common/log.h"
+#include "shield/pointer.h"
+
+namespace gpushield {
+
+BoundsCheckUnit::BoundsCheckUnit(const RCacheConfig &cfg, Cycle pipeline_slack)
+    : rcache_(cfg), pipeline_slack_(pipeline_slack)
+{
+}
+
+void
+BoundsCheckUnit::register_kernel(KernelId kernel, std::uint64_t key,
+                                 const RegionBoundsTable *rbt)
+{
+    KernelState state;
+    state.cipher.rekey(key);
+    state.rbt = rbt;
+    kernels_[kernel] = state;
+}
+
+void
+BoundsCheckUnit::deregister_kernel(KernelId kernel)
+{
+    kernels_.erase(kernel);
+    // §5.5: RCaches are flushed upon kernel termination / context switch.
+    rcache_.flush();
+}
+
+void
+BoundsCheckUnit::log(const BcuRequest &req, ViolationKind kind)
+{
+    if (req.silent) {
+        // §6.4 guard replacement: the squash is expected behaviour of
+        // the removed software guard, not an error.
+        stats_.add("guard_suppressed");
+        return;
+    }
+    Violation v;
+    v.kernel = req.kernel;
+    v.core = req.core;
+    v.pc = req.pc;
+    v.warp = req.warp;
+    v.is_store = req.is_store;
+    v.min_addr = req.min_addr;
+    v.max_end = req.max_end;
+    v.kind = kind;
+    violations_.push_back(v);
+    stats_.add("violations");
+}
+
+Cycle
+BoundsCheckUnit::exposed_stall(const BcuRequest &req,
+                               Cycle check_latency) const
+{
+    // The LSU pipeline shadows the check: a D-cache hit exposes only
+    // what exceeds the remaining pipeline depth; each extra coalesced
+    // transaction occupies the LSU one more cycle; a D-cache miss hides
+    // everything (Fig. 12).
+    if (!req.dcache_hit)
+        return 0;
+    const Cycle shadow =
+        pipeline_slack_ + (req.num_transactions > 0
+                               ? req.num_transactions - 1
+                               : 0);
+    return check_latency > shadow ? check_latency - shadow : 0;
+}
+
+BcuResponse
+BoundsCheckUnit::check(const BcuRequest &req)
+{
+    BcuResponse resp;
+
+    if (req.has_bt_bounds) {
+        // Method A: compare against the binding-table entry directly.
+        resp.checked = true;
+        stats_.add("checks");
+        stats_.add("bt_checks");
+        const Bounds &b = req.bt_bounds;
+        if (req.is_store && b.read_only) {
+            resp.violation = true;
+            resp.kind = ViolationKind::ReadOnlyWrite;
+            log(req, resp.kind);
+        } else if (!b.contains(req.min_addr, req.max_end - req.min_addr)) {
+            resp.violation = true;
+            resp.kind = ViolationKind::OutOfBounds;
+            resp.region_known = true;
+            resp.region_base = b.base_addr;
+            resp.region_end = b.base_addr + b.size;
+            log(req, resp.kind);
+        }
+        return resp;
+    }
+
+    const PtrClass cls = ptr_class(req.pointer);
+
+    if (cls == PtrClass::Unprotected) {
+        stats_.add("skipped_unprotected");
+        return resp;
+    }
+
+    resp.checked = true;
+    stats_.add("checks");
+
+    if (cls == PtrClass::SizedWindow) {
+        // Type 3: compare offsets against the embedded power-of-two
+        // window; no RCache access (§5.3.3).
+        stats_.add("type3_checks");
+        const std::uint64_t window = std::uint64_t{1} << ptr_field(req.pointer);
+        bool oob;
+        if (req.has_base_offset) {
+            oob = req.min_offset < 0 ||
+                  static_cast<std::uint64_t>(req.max_offset_end) > window;
+        } else {
+            // Fallback for Method B dereferences of a sized pointer:
+            // detect window-boundary crossings.
+            oob = align_down(req.min_addr, window) !=
+                  align_down(req.max_end - 1, window);
+        }
+        if (oob) {
+            resp.violation = true;
+            resp.kind = ViolationKind::OutOfBounds;
+            if (req.has_base_offset) {
+                resp.region_known = true;
+                resp.region_base = ptr_addr(req.pointer);
+                resp.region_end = resp.region_base + window;
+            }
+            log(req, resp.kind);
+        }
+        // Offset comparison completes in the address-gather stage; no
+        // exposed stall.
+        return resp;
+    }
+
+    // Type 2: decrypt the ID and consult the RCache hierarchy.
+    stats_.add("type2_checks");
+    const auto it = kernels_.find(req.kernel);
+    if (it == kernels_.end())
+        panic("BCU: check for unregistered kernel");
+    KernelState &ks = it->second;
+
+    const BufferId id = ks.cipher.decrypt(ptr_field(req.pointer));
+    RCacheResult rc = rcache_.lookup(req.kernel, id);
+
+    Bounds bounds;
+    Cycle check_latency;
+    switch (rc.level) {
+      case RCacheLevel::L1:
+        bounds = rc.bounds;
+        check_latency = rcache_.config().l1_latency;
+        break;
+      case RCacheLevel::L2:
+        bounds = rc.bounds;
+        check_latency = rcache_.config().l2_latency;
+        break;
+      case RCacheLevel::Miss:
+      default:
+        // Functional refill from the RBT; the caller models the memory
+        // round-trip using refill_paddr.
+        bounds = ks.rbt->get(id);
+        rcache_.fill(req.kernel, id, bounds);
+        resp.refill = true;
+        resp.refill_paddr = ks.rbt->entry_paddr(id);
+        check_latency = rcache_.config().l2_latency;
+        break;
+    }
+
+    if (!bounds.valid) {
+        resp.violation = true;
+        resp.kind = ViolationKind::InvalidEntry;
+        log(req, resp.kind);
+    } else if ((bounds.kernel & 0xFFF) != (req.kernel & 0xFFF)) {
+        resp.violation = true;
+        resp.kind = ViolationKind::KernelMismatch;
+        log(req, resp.kind);
+    } else if (req.is_store && bounds.read_only) {
+        resp.violation = true;
+        resp.kind = ViolationKind::ReadOnlyWrite;
+        log(req, resp.kind);
+    } else if (req.min_addr < bounds.base_addr ||
+               req.max_end > bounds.base_addr + bounds.size) {
+        resp.violation = true;
+        resp.kind = ViolationKind::OutOfBounds;
+        resp.region_known = true;
+        resp.region_base = bounds.base_addr;
+        resp.region_end = bounds.base_addr + bounds.size;
+        log(req, resp.kind);
+    }
+
+    resp.stall_cycles = exposed_stall(req, check_latency);
+    if (resp.stall_cycles > 0)
+        stats_.add("stall_cycles", resp.stall_cycles);
+    return resp;
+}
+
+} // namespace gpushield

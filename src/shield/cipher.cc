@@ -1,0 +1,58 @@
+#include "shield/cipher.h"
+
+#include "common/rng.h"
+
+namespace gpushield {
+
+IdCipher::IdCipher(std::uint64_t key)
+{
+    rekey(key);
+}
+
+void
+IdCipher::rekey(std::uint64_t key)
+{
+    key_ = key;
+    std::uint64_t sm = key ^ 0xA5A5A5A5A5A5A5A5ull;
+    for (auto &sk : subkeys_)
+        sk = static_cast<std::uint32_t>(splitmix64(sm));
+}
+
+std::uint16_t
+IdCipher::round_fn(std::uint16_t half, std::uint32_t subkey)
+{
+    // Small keyed mix; only the low 7 bits of the result are used.
+    std::uint32_t x = (half ^ subkey) * 0x9E37u;
+    x ^= x >> 5;
+    x *= 0x85EBu;
+    x ^= x >> 7;
+    return static_cast<std::uint16_t>(x & kHalfMask);
+}
+
+std::uint16_t
+IdCipher::encrypt(std::uint16_t id) const
+{
+    std::uint16_t left = (id >> kHalfBits) & kHalfMask;
+    std::uint16_t right = id & kHalfMask;
+    for (unsigned r = 0; r < kRounds; ++r) {
+        const std::uint16_t next_left = right;
+        right = left ^ round_fn(right, subkeys_[r]);
+        left = next_left;
+    }
+    return static_cast<std::uint16_t>((left << kHalfBits) | right);
+}
+
+std::uint16_t
+IdCipher::decrypt(std::uint16_t enc) const
+{
+    std::uint16_t left = (enc >> kHalfBits) & kHalfMask;
+    std::uint16_t right = enc & kHalfMask;
+    for (unsigned r = kRounds; r-- > 0;) {
+        const std::uint16_t prev_right = left;
+        left = right ^ round_fn(left, subkeys_[r]);
+        right = prev_right;
+    }
+    return static_cast<std::uint16_t>((left << kHalfBits) | right);
+}
+
+} // namespace gpushield

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Per-kernel 14-bit buffer-ID cipher (§5.2.4).
+ *
+ * The driver encrypts buffer IDs before embedding them in pointers so an
+ * attacker who observes a pointer across kernel launches cannot infer or
+ * forge IDs. A balanced 4-round Feistel network over 14 bits (7+7) keyed
+ * by a 64-bit per-kernel secret provides the bijection; hardware decrypts
+ * in the BCU before indexing the RBT.
+ */
+
+#ifndef GPUSHIELD_SHIELD_CIPHER_H
+#define GPUSHIELD_SHIELD_CIPHER_H
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace gpushield {
+
+/** Keyed bijection over 14-bit buffer IDs. */
+class IdCipher
+{
+  public:
+    explicit IdCipher(std::uint64_t key = 0);
+
+    /** Replaces the key (new kernel launch). */
+    void rekey(std::uint64_t key);
+
+    /** Encrypts a 14-bit ID. */
+    std::uint16_t encrypt(std::uint16_t id) const;
+
+    /** Decrypts a 14-bit ciphertext. */
+    std::uint16_t decrypt(std::uint16_t enc) const;
+
+    std::uint64_t key() const { return key_; }
+
+  private:
+    static constexpr unsigned kRounds = 4;
+    static constexpr unsigned kHalfBits = 7;
+    static constexpr std::uint16_t kHalfMask = (1u << kHalfBits) - 1;
+
+    /** Round function: keyed 7-bit mix. */
+    static std::uint16_t round_fn(std::uint16_t half, std::uint32_t subkey);
+
+    std::uint64_t key_ = 0;
+    std::uint32_t subkeys_[kRounds] = {};
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SHIELD_CIPHER_H

@@ -1,0 +1,99 @@
+#include "shield/hwcost.h"
+
+namespace gpushield {
+
+namespace {
+
+// Per-bit coefficients calibrated to the paper's 45nm / 1 GHz synthesis
+// (Table 3). Each structure class has different periphery, so the
+// coefficients differ per class rather than being one global constant.
+struct PerBit
+{
+    double area_mm2;
+    double leakage_uw;
+    double dynamic_mw;
+};
+
+// Reference geometries used for calibration: L1 = 4 x 107b = 428b,
+// L2 tag = 64 x 14b = 896b, L2 data = 64 x 93b = 5952b, comparators = 96b.
+constexpr PerBit kL1PerBit = {0.0060 / 428, 26.40 / 428, 22.93 / 428};
+constexpr PerBit kL2TagPerBit = {0.0166 / 896, 256.71 / 896, 55.39 / 896};
+constexpr PerBit kL2DataPerBit = {0.0568 / 5952, 499.13 / 5952,
+                                  104.63 / 5952};
+constexpr PerBit kCmpPerBit = {0.0064 / 96, 17.51 / 96, 20.41 / 96};
+
+StructureCost
+cost_from_bits(std::string name, unsigned entries, double bits,
+               const PerBit &pb, bool is_sram)
+{
+    StructureCost c;
+    c.name = std::move(name);
+    c.entries = entries;
+    c.sram_bytes = is_sram ? bits / 8.0 : 0.0;
+    c.area_mm2 = bits * pb.area_mm2;
+    c.leakage_uw = bits * pb.leakage_uw;
+    c.dynamic_mw = bits * pb.dynamic_mw;
+    return c;
+}
+
+} // namespace
+
+HwCostModel::HwCostModel(const HwCostConfig &cfg)
+    : cfg_(cfg)
+{
+}
+
+unsigned
+HwCostModel::data_entry_bits() const
+{
+    return cfg_.base_bits + cfg_.size_bits + cfg_.ro_bits + cfg_.kernel_bits;
+}
+
+unsigned
+HwCostModel::l1_entry_bits() const
+{
+    return cfg_.id_bits + data_entry_bits();
+}
+
+std::vector<StructureCost>
+HwCostModel::breakdown() const
+{
+    std::vector<StructureCost> rows;
+    rows.push_back(cost_from_bits("Comparators", 0, cfg_.comparator_bits,
+                                  kCmpPerBit, /*is_sram=*/false));
+    rows.push_back(cost_from_bits(
+        "L1 RCache", cfg_.l1_entries,
+        static_cast<double>(cfg_.l1_entries) * l1_entry_bits(), kL1PerBit,
+        /*is_sram=*/true));
+    rows.push_back(cost_from_bits(
+        "L2 RCache tag", cfg_.l2_entries,
+        static_cast<double>(cfg_.l2_entries) * cfg_.id_bits, kL2TagPerBit,
+        /*is_sram=*/true));
+    rows.push_back(cost_from_bits(
+        "L2 RCache data", cfg_.l2_entries,
+        static_cast<double>(cfg_.l2_entries) * data_entry_bits(),
+        kL2DataPerBit, /*is_sram=*/true));
+    return rows;
+}
+
+StructureCost
+HwCostModel::total() const
+{
+    StructureCost t;
+    t.name = "Total";
+    for (const StructureCost &row : breakdown()) {
+        t.sram_bytes += row.sram_bytes;
+        t.area_mm2 += row.area_mm2;
+        t.leakage_uw += row.leakage_uw;
+        t.dynamic_mw += row.dynamic_mw;
+    }
+    return t;
+}
+
+double
+HwCostModel::total_kb(unsigned num_cores) const
+{
+    return total().sram_bytes * num_cores / 1024.0;
+}
+
+} // namespace gpushield

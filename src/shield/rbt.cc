@@ -1,0 +1,56 @@
+#include "shield/rbt.h"
+
+#include "common/bitutil.h"
+
+namespace gpushield {
+
+namespace {
+
+// Serialized layout: word0 = valid<<63 | read_only<<62 | base[47:0];
+// word1 = size (low 32) | kernel (next 16).
+constexpr unsigned kValidBit = 63;
+constexpr unsigned kReadOnlyBit = 62;
+
+} // namespace
+
+RegionBoundsTable::RegionBoundsTable(PhysicalMemory &mem, PAddr base)
+    : mem_(mem), base_(base)
+{
+}
+
+void
+RegionBoundsTable::set(BufferId id, const Bounds &bounds)
+{
+    const PAddr at = entry_paddr(id);
+    std::uint64_t word0 = bounds.base_addr & kVAddrMask;
+    word0 = insert_bits(word0, kValidBit, 1, bounds.valid ? 1 : 0);
+    word0 = insert_bits(word0, kReadOnlyBit, 1, bounds.read_only ? 1 : 0);
+    const std::uint64_t word1 =
+        static_cast<std::uint64_t>(bounds.size) |
+        (static_cast<std::uint64_t>(bounds.kernel & 0xFFF) << 32);
+    mem_.write_as<std::uint64_t>(at, word0);
+    mem_.write_as<std::uint64_t>(at + 8, word1);
+}
+
+Bounds
+RegionBoundsTable::get(BufferId id) const
+{
+    const PAddr at = entry_paddr(id);
+    const auto word0 = mem_.read_as<std::uint64_t>(at);
+    const auto word1 = mem_.read_as<std::uint64_t>(at + 8);
+    Bounds b;
+    b.valid = bits(word0, kValidBit, 1) != 0;
+    b.read_only = bits(word0, kReadOnlyBit, 1) != 0;
+    b.base_addr = word0 & kVAddrMask;
+    b.size = static_cast<std::uint32_t>(word1 & 0xFFFFFFFFull);
+    b.kernel = static_cast<KernelId>(bits(word1, 32, 12));
+    return b;
+}
+
+void
+RegionBoundsTable::clear_all()
+{
+    mem_.fill(base_, 0, kTableBytes);
+}
+
+} // namespace gpushield

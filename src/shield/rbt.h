@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Region Bounds Table (§5.2.2, §5.2.3).
+ *
+ * A per-kernel, 16384-entry direct-mapped table in device global memory,
+ * indexed by the (decrypted) 14-bit buffer ID. Each entry holds the
+ * buffer's 48-bit virtual base address, its 32-bit size, and valid /
+ * read-only flags physically packed into the base-address word (Fig. 6).
+ * The driver populates the table at kernel launch; the BCU's RCaches
+ * refill from it through physically-addressed memory accesses.
+ */
+
+#ifndef GPUSHIELD_SHIELD_RBT_H
+#define GPUSHIELD_SHIELD_RBT_H
+
+#include <cstdint>
+
+#include "common/types.h"
+#include "mem/physical_memory.h"
+
+namespace gpushield {
+
+/** Bounds metadata for one buffer (Fig. 6). */
+struct Bounds
+{
+    VAddr base_addr = 0;     //!< 48-bit virtual base
+    std::uint32_t size = 0;  //!< buffer size in bytes
+    bool valid = false;
+    bool read_only = false;
+    KernelId kernel = 0;     //!< owning kernel (12 bits kept)
+
+    /** True when [addr, addr+bytes) lies inside the region. */
+    bool
+    contains(VAddr addr, std::uint64_t bytes = 1) const
+    {
+        return valid && addr >= base_addr &&
+               addr + bytes <= base_addr + size;
+    }
+};
+
+/** Device-memory-resident Region Bounds Table. */
+class RegionBoundsTable
+{
+  public:
+    /** Bytes per serialized entry. */
+    static constexpr std::uint64_t kEntryBytes = 16;
+
+    /** Total table footprint in bytes. */
+    static constexpr std::uint64_t kTableBytes = kNumBufferIds * kEntryBytes;
+
+    /**
+     * @param mem  backing device memory
+     * @param base physical base address of the table
+     */
+    RegionBoundsTable(PhysicalMemory &mem, PAddr base);
+
+    /** Writes entry @p id. */
+    void set(BufferId id, const Bounds &bounds);
+
+    /** Reads entry @p id (invalid entries return valid=false). */
+    Bounds get(BufferId id) const;
+
+    /** Invalidates every entry the driver previously set. */
+    void clear_all();
+
+    /** Physical address of entry @p id (for RCache refill traffic). */
+    PAddr
+    entry_paddr(BufferId id) const
+    {
+        return base_ + static_cast<std::uint64_t>(id & kBufferIdMask) *
+                           kEntryBytes;
+    }
+
+    PAddr base() const { return base_; }
+
+  private:
+    PhysicalMemory &mem_;
+    PAddr base_;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SHIELD_RBT_H

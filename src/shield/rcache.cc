@@ -1,0 +1,122 @@
+#include "shield/rcache.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace gpushield {
+
+RCache::RCache(const RCacheConfig &cfg)
+    : cfg_(cfg)
+{
+    if (cfg_.partitions == 0)
+        fatal("RCache: at least one partition required");
+    banks_.resize(cfg_.partitions);
+    for (Bank &bank : banks_) {
+        bank.l1.resize(cfg_.l1_entries);
+        bank.l2.resize(cfg_.l2_entries);
+    }
+}
+
+RCache::Bank &
+RCache::bank_for(KernelId kernel)
+{
+    // Kernels hash to banks by warp-scheduler position (§6.2); kernel
+    // ID modulo bank count models that assignment.
+    return banks_[kernel % cfg_.partitions];
+}
+
+RCache::Entry *
+RCache::find(std::vector<Entry> &arr, KernelId kernel, BufferId id)
+{
+    for (Entry &e : arr)
+        if (e.valid && e.kernel == kernel && e.id == id)
+            return &e;
+    return nullptr;
+}
+
+RCacheResult
+RCache::lookup(KernelId kernel, BufferId id)
+{
+    stats_.add("lookups");
+    RCacheResult result;
+    Bank &bank = bank_for(kernel);
+
+    if (Entry *e = find(bank.l1, kernel, id)) {
+        stats_.add("l1_hits");
+        result.level = RCacheLevel::L1;
+        result.bounds = e->bounds;
+        return result;
+    }
+    stats_.add("l1_misses");
+
+    if (Entry *e = find(bank.l2, kernel, id)) {
+        stats_.add("l2_hits");
+        e->stamp = ++stamp_; // LRU touch
+        result.level = RCacheLevel::L2;
+        result.bounds = e->bounds;
+        insert_l1(bank, kernel, id, e->bounds);
+        return result;
+    }
+    stats_.add("l2_misses");
+    return result;
+}
+
+void
+RCache::insert_l1(Bank &bank, KernelId kernel, BufferId id,
+                  const Bounds &bounds)
+{
+    // FIFO replacement: evict the oldest-inserted entry.
+    Entry *victim = &bank.l1[0];
+    for (Entry &e : bank.l1) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < victim->stamp)
+            victim = &e;
+    }
+    *victim = Entry{true, kernel, id, bounds, ++stamp_};
+}
+
+void
+RCache::insert_l2(Bank &bank, KernelId kernel, BufferId id,
+                  const Bounds &bounds)
+{
+    Entry *victim = &bank.l2[0];
+    for (Entry &e : bank.l2) {
+        if (!e.valid) {
+            victim = &e;
+            break;
+        }
+        if (e.stamp < victim->stamp)
+            victim = &e;
+    }
+    if (victim->valid)
+        stats_.add("l2_evictions");
+    *victim = Entry{true, kernel, id, bounds, ++stamp_};
+}
+
+void
+RCache::fill(KernelId kernel, BufferId id, const Bounds &bounds)
+{
+    stats_.add("refills");
+    Bank &bank = bank_for(kernel);
+    if (!find(bank.l2, kernel, id))
+        insert_l2(bank, kernel, id, bounds);
+    if (!find(bank.l1, kernel, id))
+        insert_l1(bank, kernel, id, bounds);
+}
+
+void
+RCache::flush()
+{
+    for (Bank &bank : banks_) {
+        for (Entry &e : bank.l1)
+            e.valid = false;
+        for (Entry &e : bank.l2)
+            e.valid = false;
+    }
+}
+
+} // namespace gpushield

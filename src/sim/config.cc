@@ -1,0 +1,73 @@
+#include "sim/config.h"
+
+namespace gpushield {
+
+GpuConfig
+nvidia_config()
+{
+    GpuConfig cfg;
+    cfg.name = "nvidia";
+    cfg.num_cores = 16;
+    cfg.max_warps_per_core = 32; // 1024 threads / 32 lanes
+    cfg.max_workgroups_per_core = 8;
+
+    cfg.mem.l1.size_bytes = 16 * 1024;
+    cfg.mem.l1.assoc = 4;
+    cfg.mem.l1.line_size = kLineSize;
+    cfg.mem.l1.name = "l1";
+
+    cfg.mem.l2.size_bytes = 2 * 1024 * 1024;
+    cfg.mem.l2.assoc = 16;
+    cfg.mem.l2.line_size = kLineSize;
+    cfg.mem.l2.name = "l2";
+
+    cfg.mem.l1_tlb_entries = 64;
+    cfg.mem.l2_tlb_entries = 1024;
+    cfg.mem.l2_tlb_assoc = 32;
+    cfg.mem.page_size = kPageSize2M;
+
+    cfg.mem.dram.channels = 16;
+    cfg.mem.dram.row_bytes = 2048;
+
+    cfg.rcache.l1_entries = 4;
+    cfg.rcache.l2_entries = 64;
+    cfg.rcache.l1_latency = 1;
+    cfg.rcache.l2_latency = 3;
+    return cfg;
+}
+
+GpuConfig
+intel_config()
+{
+    GpuConfig cfg;
+    cfg.name = "intel";
+    cfg.num_cores = 24;
+    cfg.max_warps_per_core = 7; // 7 HW threads per EU cluster
+    cfg.max_workgroups_per_core = 4;
+
+    cfg.mem.l1.size_bytes = 32 * 1024;
+    cfg.mem.l1.assoc = 4;
+    cfg.mem.l1.line_size = kLineSize;
+    cfg.mem.l1.name = "l1";
+
+    cfg.mem.l2.size_bytes = 2 * 1024 * 1024;
+    cfg.mem.l2.assoc = 16;
+    cfg.mem.l2.line_size = kLineSize;
+    cfg.mem.l2.name = "l2";
+
+    cfg.mem.l1_tlb_entries = 64;
+    cfg.mem.l2_tlb_entries = 1024;
+    cfg.mem.l2_tlb_assoc = 32;
+    cfg.mem.page_size = kPageSize4K; // integrated GPU shares CPU pages
+
+    cfg.mem.dram.channels = 16;
+    cfg.mem.dram.row_bytes = 2048;
+
+    cfg.rcache.l1_entries = 4;
+    cfg.rcache.l2_entries = 64;
+    cfg.rcache.l1_latency = 1;
+    cfg.rcache.l2_latency = 3;
+    return cfg;
+}
+
+} // namespace gpushield

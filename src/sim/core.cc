@@ -1,0 +1,461 @@
+#include "sim/core.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/log.h"
+#include "shield/pointer.h"
+#include "sim/lsu.h"
+
+namespace gpushield {
+
+Core::Core(CoreId id, const GpuConfig &cfg, EventQueue &eq,
+           MemoryHierarchy &hier)
+    : id_(id), cfg_(cfg), eq_(eq), hier_(hier),
+      bcu_(cfg.rcache, cfg.lsu_pipeline_slack),
+      slots_(cfg.max_workgroups_per_core)
+{
+}
+
+void
+Core::attach_kernel(KernelExec *kernel)
+{
+    resident_.push_back(kernel);
+    if (kernel->launch->shield_enabled) {
+        bcu_.register_kernel(kernel->launch->kernel_id,
+                             kernel->launch->secret_key,
+                             kernel->launch->rbt.get());
+    }
+}
+
+void
+Core::detach_kernel(KernelExec *kernel)
+{
+    resident_.erase(std::remove(resident_.begin(), resident_.end(), kernel),
+                    resident_.end());
+    if (kernel->launch->shield_enabled)
+        bcu_.deregister_kernel(kernel->launch->kernel_id);
+    // Kill any still-live workgroups (kernel aborts).
+    for (WorkgroupCtx &wg : slots_) {
+        if (wg.live && wg.kernel == kernel) {
+            warps_in_use_ -= static_cast<unsigned>(wg.warps.size());
+            wg.live = false;
+            wg.token.reset(); // invalidate in-flight completion callbacks
+            --live_workgroups_;
+        }
+    }
+}
+
+unsigned
+Core::live_warps(const WorkgroupCtx &wg) const
+{
+    return static_cast<unsigned>(wg.warps.size()) - wg.warps_finished;
+}
+
+bool
+Core::try_dispatch()
+{
+    if (resident_.empty())
+        return false;
+    for (std::size_t n = 0; n < resident_.size(); ++n) {
+        KernelExec *kernel =
+            resident_[(dispatch_rr_ + n) % resident_.size()];
+        if (kernel->done || kernel->aborted ||
+            kernel->next_wg >= kernel->total_wgs())
+            continue;
+        if (((kernel->core_mask >> id_) & 1) == 0)
+            continue;
+        const unsigned warps_needed =
+            (kernel->launch->ntid + kWarpSize - 1) / kWarpSize;
+        if (warps_in_use_ + warps_needed > cfg_.max_warps_per_core)
+            continue;
+        auto slot = std::find_if(slots_.begin(), slots_.end(),
+                                 [](const WorkgroupCtx &wg) {
+                                     return !wg.live;
+                                 });
+        if (slot == slots_.end())
+            return false;
+        start_workgroup(kernel, kernel->next_wg++);
+        dispatch_rr_ = (dispatch_rr_ + n + 1) % resident_.size();
+        return true;
+    }
+    return false;
+}
+
+void
+Core::start_workgroup(KernelExec *kernel, std::uint32_t wg_index)
+{
+    auto slot = std::find_if(slots_.begin(), slots_.end(),
+                             [](const WorkgroupCtx &wg) { return !wg.live; });
+    if (slot == slots_.end())
+        panic("Core: no free workgroup slot");
+    WorkgroupCtx &wg = *slot;
+    wg.kernel = kernel;
+    wg.wg_index = wg_index;
+    wg.warps.clear();
+    wg.warps_at_barrier = 0;
+    wg.warps_finished = 0;
+    wg.live = true;
+    wg.token = std::make_shared<bool>(true);
+
+    const KernelProgram &prog = kernel->launch->program;
+    const std::uint32_t ntid = kernel->launch->ntid;
+    const unsigned warps = (ntid + kWarpSize - 1) / kWarpSize;
+    wg.warps.reserve(warps);
+    for (unsigned w = 0; w < warps; ++w) {
+        wg.warps.emplace_back(static_cast<WarpId>(w), wg_index, w, ntid,
+                              prog.num_regs, prog.num_preds);
+        wg.warps.back().ready_cycle = eq_.now();
+    }
+    wg.shared_mem.assign(prog.shared_bytes, 0);
+
+    warps_in_use_ += warps;
+    ++live_workgroups_;
+    if (!kernel->started) {
+        kernel->started = true;
+        kernel->start_cycle = eq_.now();
+    }
+    stats_.add("workgroups_started");
+}
+
+bool
+Core::tick()
+{
+    try_dispatch();
+    if (live_workgroups_ == 0)
+        return false;
+
+    const Cycle now = eq_.now();
+    if (now < issue_busy_until_)
+        return true;
+
+    unsigned issued = 0;
+    // Greedy-then-oldest: re-issue from the last warp first, then scan
+    // slots/warps in order (oldest workgroups live in lower slots).
+    auto try_warp = [&](int slot_idx, int warp_idx) -> bool {
+        WorkgroupCtx &wg = slots_[slot_idx];
+        if (!wg.live)
+            return false;
+        WarpState &warp = wg.warps[warp_idx];
+        if (warp.status != WarpStatus::Ready || warp.ready_cycle > now)
+            return false;
+        if (!issue_one(wg, warp))
+            return false;
+        greedy_slot_ = slot_idx;
+        greedy_warp_ = warp_idx;
+        ++issued;
+        return true;
+    };
+
+    while (issued < cfg_.issue_width) {
+        bool progressed = false;
+        if (greedy_slot_ >= 0 &&
+            static_cast<std::size_t>(greedy_slot_) < slots_.size() &&
+            slots_[greedy_slot_].live &&
+            static_cast<std::size_t>(greedy_warp_) <
+                slots_[greedy_slot_].warps.size()) {
+            progressed = try_warp(greedy_slot_, greedy_warp_);
+        }
+        if (!progressed) {
+            for (std::size_t s = 0; s < slots_.size() && !progressed; ++s) {
+                if (!slots_[s].live)
+                    continue;
+                for (std::size_t w = 0; w < slots_[s].warps.size(); ++w) {
+                    if (static_cast<int>(s) == greedy_slot_ &&
+                        static_cast<int>(w) == greedy_warp_)
+                        continue;
+                    if (try_warp(static_cast<int>(s),
+                                 static_cast<int>(w))) {
+                        progressed = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if (!progressed)
+            break;
+    }
+    return true;
+}
+
+bool
+Core::issue_one(WorkgroupCtx &wg, WarpState &warp)
+{
+    const Cycle now = eq_.now();
+    KernelExec *kernel = wg.kernel;
+
+    // Peek the next instruction (post-reconvergence) so a busy LSU
+    // doesn't waste the issue slot.
+    warp.reconverge();
+    const KernelProgram &prog = kernel->launch->program;
+    const Instr &next = prog.code[warp.pc];
+    if (is_global_mem(next.op) && now < lsu_busy_until_)
+        return false;
+
+    const int issue_pc = warp.pc;
+    const StepResult result =
+        kernel->interp->step(warp, wg.shared_mem);
+    kernel->stats.add("instructions");
+    stats_.add("issued");
+
+    if (observer_ != nullptr) {
+        observer_->on_issue(
+            id_, kernel->launch->kernel_id, warp.id, issue_pc,
+            kernel->launch->program.code[issue_pc],
+            result.kind == StepKind::GlobalMem ? &result.mem : nullptr);
+    }
+
+    switch (result.kind) {
+      case StepKind::Alu:
+        warp.ready_cycle = now + cfg_.alu_latency;
+        break;
+      case StepKind::Sfu:
+        warp.ready_cycle = now + cfg_.sfu_latency;
+        break;
+      case StepKind::SharedMem:
+        kernel->stats.add("shared_accesses");
+        warp.ready_cycle = now + cfg_.shared_latency;
+        break;
+      case StepKind::Malloc: {
+        // Device-side malloc serializes allocator metadata updates
+        // across the whole GPU (footnote 2's contention).
+        kernel->stats.add("mallocs", result.malloc_count);
+        kernel->malloc_busy_until =
+            std::max(kernel->malloc_busy_until, now) +
+            static_cast<Cycle>(result.malloc_count) *
+                cfg_.malloc_serialize_cycles;
+        warp.ready_cycle = kernel->malloc_busy_until;
+        break;
+      }
+      case StepKind::Barrier:
+        warp.status = WarpStatus::AtBarrier;
+        ++wg.warps_at_barrier;
+        if (wg.warps_at_barrier >= live_warps(wg))
+            release_barrier(wg);
+        break;
+      case StepKind::Exited:
+        ++wg.warps_finished;
+        finish_warp(wg);
+        break;
+      case StepKind::GlobalMem:
+        handle_mem(wg, warp, result.mem);
+        break;
+    }
+    return true;
+}
+
+void
+Core::release_barrier(WorkgroupCtx &wg)
+{
+    const Cycle now = eq_.now();
+    for (WarpState &w : wg.warps) {
+        if (w.status == WarpStatus::AtBarrier) {
+            w.status = WarpStatus::Ready;
+            w.ready_cycle = now + 1;
+        }
+    }
+    wg.warps_at_barrier = 0;
+}
+
+void
+Core::finish_warp(WorkgroupCtx &wg)
+{
+    if (wg.warps_finished < wg.warps.size())
+        return;
+    // Workgroup complete.
+    wg.live = false;
+    --live_workgroups_;
+    warps_in_use_ -= static_cast<unsigned>(wg.warps.size());
+    KernelExec *kernel = wg.kernel;
+    ++kernel->wgs_done;
+    stats_.add("workgroups_finished");
+    if (kernel->wgs_done >= kernel->total_wgs() && !kernel->done) {
+        kernel->done = true;
+        kernel->end_cycle = eq_.now();
+    }
+}
+
+void
+Core::abort_kernel(KernelExec *kernel)
+{
+    // Fig. 4 case 3: an access crossing into an unmapped page aborts the
+    // kernel with an "illegal memory access" error.
+    kernel->aborted = true;
+    kernel->done = true;
+    kernel->end_cycle = eq_.now();
+    kernel->stats.add("translation_faults");
+}
+
+void
+Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
+{
+    const Cycle now = eq_.now();
+    KernelExec *kernel = wg.kernel;
+    LaunchState &launch = *kernel->launch;
+    kernel->stats.add(op.is_store ? "stores" : "loads");
+
+    const std::vector<VAddr> lines = coalesce(op, cfg_.mem.l1.line_size);
+    kernel->stats.add("transactions", lines.size());
+
+    // Software-tool instrumentation (baseline models) occupies issue
+    // slots and adds shadow-metadata traffic.
+    if (kernel->instr_extra_cycles_per_mem > 0) {
+        issue_busy_until_ =
+            std::max(issue_busy_until_, now) +
+            kernel->instr_extra_cycles_per_mem;
+        kernel->stats.add("instr_overhead_cycles",
+                          kernel->instr_extra_cycles_per_mem);
+    }
+
+    // Track load completion across all transactions. The workgroup
+    // token guards against callbacks outliving an aborted kernel's
+    // (reused) slot.
+    auto remaining = std::make_shared<unsigned>(0);
+    WarpState *warp_ptr = &warp;
+    const bool is_load = !op.is_store;
+    std::weak_ptr<bool> alive = wg.token;
+    auto on_done = [this, remaining, warp_ptr, alive]() {
+        if (--*remaining == 0 && !alive.expired()) {
+            warp_ptr->status = WarpStatus::Ready;
+            warp_ptr->ready_cycle = eq_.now();
+        }
+    };
+
+    // --- Bounds check (BCU, runs alongside the D-TLB/D-cache tag
+    // stage; a failing check squashes the offending lanes before
+    // commit) ----------------------------------------------------------
+    LaneMask suppress_mask = 0;
+    const bool shield = launch.shield_enabled;
+    const bool dcache_probe_hit =
+        !lines.empty() && hier_.l1(id_).probe(lines.front());
+    if (shield && op.instr->check == CheckMode::StaticSafe) {
+        kernel->stats.add("checks_elided");
+    } else if (shield &&
+               (op.has_bt ||
+                ptr_class(op.pointer) != PtrClass::Unprotected)) {
+        BcuRequest req;
+        req.kernel = launch.kernel_id;
+        req.core = id_;
+        req.warp = warp.id;
+        req.pc = op.pc;
+        req.pointer = op.pointer;
+        req.min_addr = op.min_addr;
+        req.max_end = op.max_end;
+        req.is_store = op.is_store;
+        req.num_transactions = static_cast<unsigned>(lines.size());
+        req.dcache_hit = dcache_probe_hit;
+        req.has_base_offset = op.has_base_offset;
+        req.min_offset = op.min_offset;
+        req.max_offset_end = op.max_offset_end;
+        req.has_bt_bounds = op.has_bt;
+        req.bt_bounds = op.bt_bounds;
+        req.silent = op.instr->check == CheckMode::GuardReplaced;
+
+        const BcuResponse resp = bcu_.check(req);
+        kernel->stats.add("checks");
+        if (resp.stall_cycles > 0) {
+            // Exposed pipeline bubble: the LSU (and issue stage behind
+            // it) stalls.
+            issue_busy_until_ =
+                std::max(issue_busy_until_, now + resp.stall_cycles);
+            lsu_busy_until_ =
+                std::max(lsu_busy_until_, now + resp.stall_cycles);
+            kernel->stats.add("bcu_stall_cycles", resp.stall_cycles);
+        }
+        if (resp.refill) {
+            kernel->stats.add("rbt_refills");
+            if (is_load) {
+                ++*remaining;
+                hier_.access_physical(resp.refill_paddr, on_done);
+            } else {
+                hier_.access_physical(resp.refill_paddr, [] {});
+            }
+        }
+        if (resp.violation) {
+            // Detection is warp-granular; squashing is lane-granular
+            // when the violated region is known.
+            if (resp.region_known) {
+                for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+                    if (((op.mask >> lane) & 1) == 0)
+                        continue;
+                    const VAddr lo = op.lane_addr[lane];
+                    if (lo < resp.region_base ||
+                        lo + op.size > resp.region_end)
+                        suppress_mask |= LaneMask{1} << lane;
+                }
+                if (suppress_mask == 0)
+                    suppress_mask = op.mask; // defensive: squash all
+            } else {
+                suppress_mask = op.mask;
+            }
+            if (!req.silent) {
+                kernel->stats.add("violations");
+                if (cfg_.precise_exceptions) {
+                    // §5.5.2: precise-exception GPUs raise a fault at
+                    // the offending instruction instead of logging.
+                    abort_kernel(kernel);
+                    return;
+                }
+            } else {
+                kernel->stats.add("guard_suppressed_lanes",
+                                  std::popcount(suppress_mask));
+            }
+        }
+    } else if (shield) {
+        kernel->stats.add("checks_skipped_unprotected");
+    }
+
+    // --- Memory traffic (squashed entirely when every lane faults;
+    // partially-squashed warps only fetch the surviving lanes' lines) -
+    const bool fully_suppressed = suppress_mask == op.mask;
+    std::vector<VAddr> live_lines = lines;
+    if (suppress_mask != 0 && !fully_suppressed) {
+        MemOp surviving = op;
+        surviving.mask = op.mask & ~suppress_mask;
+        live_lines = coalesce(surviving, cfg_.mem.l1.line_size);
+    }
+    if (!fully_suppressed) {
+        for (const VAddr line : live_lines) {
+            const AccessIssue issue = hier_.access(
+                id_, line, op.is_store,
+                is_load ? MemoryHierarchy::Callback(on_done)
+                        : MemoryHierarchy::Callback([] {}));
+            if (issue.translation_fault || issue.permission_fault) {
+                abort_kernel(kernel);
+                return;
+            }
+            if (is_load)
+                ++*remaining;
+        }
+        // Shadow-metadata traffic for instrumented baselines. Shadow
+        // pages are tool-managed and physically addressed here.
+        for (unsigned x = 0; x < kernel->instr_extra_transactions; ++x) {
+            const PAddr shadow = 0x0000'F000'0000ull +
+                                 (live_lines.empty()
+                                      ? op.min_addr % 4096
+                                      : live_lines.front() % 4096) +
+                                 static_cast<PAddr>(x) * kLineSize;
+            hier_.access_physical(shadow, [] {});
+        }
+    }
+
+    // Functional effect (after the verdict so violations suppress).
+    kernel->interp->apply_mem(warp, op, suppress_mask);
+
+    // Timing: loads block until data (and any RBT refill) returns;
+    // stores retire through the store path next cycle.
+    if (is_load) {
+        if (*remaining > 0)
+            warp.status = WarpStatus::Blocked;
+        else
+            warp.ready_cycle = now + cfg_.mem.l1_latency;
+    } else {
+        warp.ready_cycle = now + 1;
+    }
+
+    // The LSU accepts one memory instruction per cycle; additional
+    // coalesced transactions occupy it longer.
+    lsu_busy_until_ = std::max(lsu_busy_until_, now + lines.size());
+}
+
+} // namespace gpushield

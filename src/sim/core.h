@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Shader-core (SM) timing model.
+ *
+ * Each core holds workgroup slots, schedules warps greedy-then-oldest,
+ * and drives the LSU + BCU pair for memory instructions. One memory
+ * instruction enters the LSU per cycle; its coalesced transactions go to
+ * the memory hierarchy, and the BCU check runs alongside the LSU
+ * pipeline (Fig. 12), exposing a bubble only when the check latency
+ * exceeds the pipeline shadow.
+ */
+
+#ifndef GPUSHIELD_SIM_CORE_H
+#define GPUSHIELD_SIM_CORE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "mem/hierarchy.h"
+#include "shield/bcu.h"
+#include "sim/config.h"
+#include "sim/interp.h"
+#include "sim/observer.h"
+#include "sim/warp.h"
+
+namespace gpushield {
+
+/** A kernel under execution on the GPU (shared across its cores). */
+struct KernelExec
+{
+    LaunchState *launch = nullptr;
+    std::unique_ptr<WarpInterpreter> interp;
+    std::uint64_t core_mask = ~std::uint64_t{0}; //!< cores allowed to run it
+
+    std::uint32_t next_wg = 0;
+    std::uint32_t wgs_done = 0;
+    bool started = false;
+    bool done = false;
+    bool aborted = false; //!< translation fault (illegal access error)
+    Cycle start_cycle = 0;
+    Cycle end_cycle = 0;
+
+    /** Device-malloc serialization point (footnote 2 behaviour). */
+    Cycle malloc_busy_until = 0;
+
+    /** Software-tool instrumentation knobs (baselines; 0 = none). */
+    Cycle instr_extra_cycles_per_mem = 0;    //!< extra issue occupancy
+    unsigned instr_extra_transactions = 0;   //!< shadow-metadata traffic
+
+    StatSet stats;
+
+    std::uint32_t total_wgs() const { return launch->nctaid; }
+};
+
+/** One shader core. */
+class Core
+{
+  public:
+    Core(CoreId id, const GpuConfig &cfg, EventQueue &eq,
+         MemoryHierarchy &hier);
+
+    /** Makes @p kernel resident (registers its key/RBT with the BCU). */
+    void attach_kernel(KernelExec *kernel);
+
+    /** Removes a finished kernel; flushes RCaches (§5.5). */
+    void detach_kernel(KernelExec *kernel);
+
+    /** Advances the core by one cycle. @return true if it did any work
+     *  or still holds unfinished workgroups. */
+    bool tick();
+
+    /** True when no workgroups are resident. */
+    bool idle() const { return live_workgroups_ == 0; }
+
+    BoundsCheckUnit &bcu() { return bcu_; }
+    const BoundsCheckUnit &bcu() const { return bcu_; }
+    const StatSet &stats() const { return stats_; }
+    CoreId id() const { return id_; }
+
+    /** Attaches an instruction-issue observer (GT-Pin-style hook);
+     *  nullptr detaches. Not owned. */
+    void set_observer(IssueObserver *observer) { observer_ = observer; }
+
+  private:
+    struct WorkgroupCtx
+    {
+        KernelExec *kernel = nullptr;
+        std::uint32_t wg_index = 0;
+        std::vector<WarpState> warps;
+        std::vector<std::uint8_t> shared_mem;
+        unsigned warps_at_barrier = 0;
+        unsigned warps_finished = 0;
+        bool live = false;
+        /** Liveness token: completion callbacks captured before an abort
+         *  must not touch a reused slot. */
+        std::shared_ptr<bool> token;
+    };
+
+    bool try_dispatch();
+    void start_workgroup(KernelExec *kernel, std::uint32_t wg_index);
+    bool issue_one(WorkgroupCtx &wg, WarpState &warp);
+    void handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op);
+    void finish_warp(WorkgroupCtx &wg);
+    void release_barrier(WorkgroupCtx &wg);
+    void abort_kernel(KernelExec *kernel);
+    unsigned live_warps(const WorkgroupCtx &wg) const;
+
+    CoreId id_;
+    const GpuConfig &cfg_;
+    EventQueue &eq_;
+    MemoryHierarchy &hier_;
+    BoundsCheckUnit bcu_;
+
+    std::vector<KernelExec *> resident_;
+    std::size_t dispatch_rr_ = 0; //!< round-robin among resident kernels
+
+    std::vector<WorkgroupCtx> slots_;
+    unsigned live_workgroups_ = 0;
+    unsigned warps_in_use_ = 0;
+
+    IssueObserver *observer_ = nullptr;
+    Cycle lsu_busy_until_ = 0;   //!< structural: one mem instr per cycle
+    Cycle issue_busy_until_ = 0; //!< instrumentation / bubbles
+    int greedy_slot_ = -1;       //!< GTO: last-issued warp first
+    int greedy_warp_ = -1;
+
+    StatSet stats_;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SIM_CORE_H

@@ -1,0 +1,141 @@
+#include "sim/gpu.h"
+
+#include "common/log.h"
+
+namespace gpushield {
+
+Gpu::Gpu(const GpuConfig &cfg, Driver &driver)
+    : cfg_(cfg), driver_(driver),
+      hier_(eq_, driver.device().page_table(), cfg.mem, cfg.num_cores)
+{
+    cores_.reserve(cfg.num_cores);
+    for (unsigned c = 0; c < cfg.num_cores; ++c)
+        cores_.push_back(std::make_unique<Core>(c, cfg_, eq_, hier_));
+}
+
+std::size_t
+Gpu::launch(LaunchState state, std::uint64_t core_mask,
+            Cycle extra_cycles_per_mem, unsigned extra_transactions)
+{
+    Launched entry;
+    entry.state = std::make_unique<LaunchState>(std::move(state));
+
+    entry.exec = std::make_unique<KernelExec>();
+    entry.exec->launch = entry.state.get();
+    entry.exec->interp =
+        std::make_unique<WarpInterpreter>(*entry.state, driver_);
+    entry.exec->core_mask = core_mask;
+    entry.exec->instr_extra_cycles_per_mem = extra_cycles_per_mem;
+    entry.exec->instr_extra_transactions = extra_transactions;
+    entry.exec->start_cycle = eq_.now();
+    entry.exec->end_cycle = eq_.now();
+
+    for (auto &core : cores_)
+        if ((core_mask >> core->id()) & 1)
+            core->attach_kernel(entry.exec.get());
+
+    launched_.push_back(std::move(entry));
+    return launched_.size() - 1;
+}
+
+bool
+Gpu::all_done() const
+{
+    for (const Launched &l : launched_)
+        if (!l.exec->done)
+            return false;
+    return true;
+}
+
+void
+Gpu::run()
+{
+    const Cycle deadline = eq_.now() + cfg_.max_cycles;
+    std::uint64_t idle_streak = 0;
+
+    while (!all_done()) {
+        if (eq_.now() >= deadline)
+            fatal("Gpu::run: cycle budget exhausted (possible livelock)");
+
+        bool any = false;
+        for (auto &core : cores_)
+            any |= core->tick();
+        eq_.step();
+
+        // Detach kernels that just completed/aborted so RCaches flush at
+        // kernel termination (§5.5).
+        for (Launched &l : launched_) {
+            if (l.exec->done && !l.detached) {
+                for (auto &core : cores_)
+                    if ((l.exec->core_mask >> core->id()) & 1)
+                        core->detach_kernel(l.exec.get());
+                l.detached = true;
+                any = true;
+            }
+        }
+
+        if (!any && eq_.empty()) {
+            if (++idle_streak > 8)
+                panic("Gpu::run: no progress with empty event queue "
+                      "(simulation deadlock)");
+        } else {
+            idle_streak = 0;
+        }
+    }
+}
+
+KernelResult
+Gpu::result(std::size_t index) const
+{
+    if (index >= launched_.size())
+        fatal("Gpu::result: bad launch index");
+    const Launched &l = launched_[index];
+
+    KernelResult r;
+    r.name = l.state->program.name;
+    r.kernel_id = l.state->kernel_id;
+    r.start_cycle = l.exec->start_cycle;
+    r.end_cycle = l.exec->end_cycle;
+    r.aborted = l.exec->aborted;
+    r.stats = l.exec->stats;
+    for (const auto &core : cores_)
+        for (const Violation &v : core->bcu().violations())
+            if (v.kernel == l.state->kernel_id)
+                r.violations.push_back(v);
+    return r;
+}
+
+LaunchState &
+Gpu::launch_state(std::size_t index)
+{
+    if (index >= launched_.size())
+        fatal("Gpu::launch_state: bad launch index");
+    return *launched_[index].state;
+}
+
+StatSet
+Gpu::rcache_stats() const
+{
+    StatSet agg;
+    for (const auto &core : cores_)
+        agg.merge(core->bcu().rcache().stats());
+    return agg;
+}
+
+StatSet
+Gpu::bcu_stats() const
+{
+    StatSet agg;
+    for (const auto &core : cores_)
+        agg.merge(core->bcu().stats());
+    return agg;
+}
+
+double
+Gpu::rcache_l1_hit_rate() const
+{
+    const StatSet agg = rcache_stats();
+    return agg.ratio("l1_hits", "lookups");
+}
+
+} // namespace gpushield

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Whole-GPU simulation driver: owns the cores, the memory hierarchy, and
+ * the cycle loop; dispatches launched kernels to cores (with core masks
+ * for the §6.2 multi-kernel modes) and collects per-kernel results.
+ */
+
+#ifndef GPUSHIELD_SIM_GPU_H
+#define GPUSHIELD_SIM_GPU_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/event_queue.h"
+#include "driver/driver.h"
+#include "sim/config.h"
+#include "sim/core.h"
+
+namespace gpushield {
+
+/** Outcome of one kernel execution. */
+struct KernelResult
+{
+    std::string name;
+    KernelId kernel_id = 0;
+    Cycle start_cycle = 0;
+    Cycle end_cycle = 0;
+    bool aborted = false;
+    StatSet stats;
+    std::vector<Violation> violations;
+
+    Cycle cycles() const { return end_cycle - start_cycle; }
+};
+
+/** A simulated GPU instance. */
+class Gpu
+{
+  public:
+    Gpu(const GpuConfig &cfg, Driver &driver);
+
+    /**
+     * Launches a kernel. Ownership of @p state moves into the GPU.
+     *
+     * @param core_mask  bit i allows core i (inter-/intra-core sharing)
+     * @param extra_cycles_per_mem / @param extra_transactions
+     *                   instrumentation knobs for software-tool baselines
+     * @return launch index for result()
+     */
+    std::size_t launch(LaunchState state,
+                       std::uint64_t core_mask = ~std::uint64_t{0},
+                       Cycle extra_cycles_per_mem = 0,
+                       unsigned extra_transactions = 0);
+
+    /** Runs the cycle loop until every launched kernel completes. */
+    void run();
+
+    /** Result of launch @p index (valid after run()). */
+    KernelResult result(std::size_t index) const;
+
+    /** Host-visible launch state (for driver finish / downloads). */
+    LaunchState &launch_state(std::size_t index);
+
+    /** Aggregated RCache statistics across all cores. */
+    StatSet rcache_stats() const;
+
+    /** Aggregated BCU statistics across all cores. */
+    StatSet bcu_stats() const;
+
+    /** L1 RCache hit rate across all cores (Figs. 15/16). */
+    double rcache_l1_hit_rate() const;
+
+    /** Attaches a GT-Pin-style issue observer to every core. */
+    void
+    set_observer(IssueObserver *observer)
+    {
+        for (auto &core : cores_)
+            core->set_observer(observer);
+    }
+
+    Core &core(std::size_t i) { return *cores_[i]; }
+    std::size_t num_cores() const { return cores_.size(); }
+    MemoryHierarchy &hierarchy() { return hier_; }
+    EventQueue &event_queue() { return eq_; }
+    const GpuConfig &config() const { return cfg_; }
+    Cycle now() const { return eq_.now(); }
+
+  private:
+    struct Launched
+    {
+        std::unique_ptr<LaunchState> state;
+        std::unique_ptr<KernelExec> exec;
+        bool detached = false;
+    };
+
+    bool all_done() const;
+
+    GpuConfig cfg_;
+    Driver &driver_;
+    EventQueue eq_;
+    MemoryHierarchy hier_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    std::vector<Launched> launched_;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SIM_GPU_H

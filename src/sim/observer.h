@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Instruction-issue observer interface.
+ *
+ * The paper's Intel workloads were characterized with GT-Pin, a binary
+ * instrumentation tool. This hook provides the equivalent capability
+ * for the simulated GPU: observers see every issued instruction (with
+ * the memory descriptor for global accesses) and can build traces,
+ * opcode histograms, or address profiles without perturbing timing.
+ */
+
+#ifndef GPUSHIELD_SIM_OBSERVER_H
+#define GPUSHIELD_SIM_OBSERVER_H
+
+#include "common/types.h"
+#include "isa/ir.h"
+#include "sim/interp.h"
+
+namespace gpushield {
+
+/** Callback interface invoked at instruction issue. */
+class IssueObserver
+{
+  public:
+    virtual ~IssueObserver() = default;
+
+    /**
+     * @param core   issuing core
+     * @param kernel kernel ID
+     * @param warp   warp within its workgroup
+     * @param pc     static instruction index
+     * @param instr  the instruction
+     * @param mem    memory descriptor for global accesses, else nullptr
+     */
+    virtual void on_issue(CoreId core, KernelId kernel, WarpId warp,
+                          int pc, const Instr &instr,
+                          const MemOp *mem) = 0;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SIM_OBSERVER_H

@@ -1,0 +1,70 @@
+#include "sim/oracle.h"
+
+#include <vector>
+
+#include "sim/warp.h"
+
+namespace gpushield {
+
+OracleResult
+run_functional(LaunchState &state, Driver &driver,
+               std::uint64_t step_budget)
+{
+    OracleResult result;
+    WarpInterpreter interp(state, driver);
+    const KernelProgram &prog = state.program;
+
+    for (std::uint32_t wg = 0; wg < state.nctaid; ++wg) {
+        const unsigned warps = (state.ntid + kWarpSize - 1) / kWarpSize;
+        std::vector<WarpState> ws;
+        ws.reserve(warps);
+        for (unsigned w = 0; w < warps; ++w)
+            ws.emplace_back(static_cast<WarpId>(w), wg, w, state.ntid,
+                            prog.num_regs, prog.num_preds);
+        std::vector<std::uint8_t> shared(prog.shared_bytes, 0);
+
+        unsigned finished = 0;
+        unsigned at_barrier = 0;
+        while (finished < ws.size()) {
+            bool progressed = false;
+            for (WarpState &warp : ws) {
+                if (warp.status != WarpStatus::Ready)
+                    continue;
+                if (result.instructions++ >= step_budget) {
+                    result.deadlocked = true;
+                    return result;
+                }
+                const StepResult step = interp.step(warp, shared);
+                progressed = true;
+                switch (step.kind) {
+                  case StepKind::GlobalMem:
+                    ++result.mem_ops;
+                    // Reference semantics: no checking, no squashing.
+                    interp.apply_mem(warp, step.mem, /*suppress_mask=*/0);
+                    break;
+                  case StepKind::Barrier:
+                    warp.status = WarpStatus::AtBarrier;
+                    if (++at_barrier + finished == ws.size()) {
+                        for (WarpState &other : ws)
+                            if (other.status == WarpStatus::AtBarrier)
+                                other.status = WarpStatus::Ready;
+                        at_barrier = 0;
+                    }
+                    break;
+                  case StepKind::Exited:
+                    ++finished;
+                    break;
+                  default:
+                    break;
+                }
+            }
+            if (!progressed) {
+                result.deadlocked = true; // barrier starvation
+                return result;
+            }
+        }
+    }
+    return result;
+}
+
+} // namespace gpushield

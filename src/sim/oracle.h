@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Functional oracle: executes a launch to completion with no timing
+ * model at all — workgroups sequentially, warps round-robin — applying
+ * every memory access immediately and unsuppressed.
+ *
+ * Because the corpus kernels are race-free by construction, the memory
+ * image the oracle produces must match the cycle-level simulator's
+ * (any scheduling the timing model picks). The differential tests use
+ * this to pin down functional bugs independently of timing bugs.
+ */
+
+#ifndef GPUSHIELD_SIM_ORACLE_H
+#define GPUSHIELD_SIM_ORACLE_H
+
+#include "driver/driver.h"
+#include "sim/interp.h"
+
+namespace gpushield {
+
+/** Outcome of a functional (oracle) execution. */
+struct OracleResult
+{
+    std::uint64_t instructions = 0; //!< warp-instructions executed
+    std::uint64_t mem_ops = 0;      //!< global memory instructions
+    bool deadlocked = false;        //!< barrier never released
+};
+
+/**
+ * Runs @p state's kernel functionally to completion. Memory effects are
+ * applied through the same interpreter as the timing model, with no
+ * bounds checking (the reference semantics of an unprotected GPU).
+ *
+ * @param step_budget safety valve: gives up (deadlocked=true) after
+ *        this many warp-steps.
+ */
+OracleResult run_functional(LaunchState &state, Driver &driver,
+                            std::uint64_t step_budget = 100'000'000);
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SIM_ORACLE_H

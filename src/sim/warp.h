@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Per-warp architectural state and the SIMT reconvergence stack.
+ *
+ * Divergence follows the structured SSY/BRA discipline the builder
+ * emits: SSY pushes a reconvergence point with the current mask; a
+ * divergent forward branch parks the taken side as "pending" on the top
+ * entry and continues on the fall-through path; reaching the
+ * reconvergence PC first runs the pending side, then restores the full
+ * mask. Divergent backward branches (loops) shrink the active mask
+ * until every lane has exited, then fall through to the reconvergence
+ * point.
+ */
+
+#ifndef GPUSHIELD_SIM_WARP_H
+#define GPUSHIELD_SIM_WARP_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "isa/ir.h"
+
+namespace gpushield {
+
+/** 32-lane activity mask. */
+using LaneMask = std::uint32_t;
+
+/** All lanes active. */
+inline constexpr LaneMask kFullMask = 0xFFFFFFFFu;
+
+/** One SIMT stack entry. */
+struct SimtEntry
+{
+    int reconv_pc = -1;        //!< where both sides meet again
+    LaneMask restore_mask = 0; //!< mask to restore after reconvergence
+    bool has_pending = false;
+    int pending_pc = -1;
+    LaneMask pending_mask = 0;
+};
+
+/** Scheduling status of a warp. */
+enum class WarpStatus : std::uint8_t {
+    Ready,     //!< can issue (subject to ready_cycle)
+    Blocked,   //!< waiting on outstanding memory
+    AtBarrier, //!< waiting at a workgroup barrier
+    Finished,  //!< executed Exit
+};
+
+/** Architectural + scheduling state of one warp. */
+class WarpState
+{
+  public:
+    /**
+     * @param warp_id     warp index within the core
+     * @param wg_index    workgroup (CTA) index within the grid
+     * @param warp_in_wg  warp position inside its workgroup
+     * @param ntid        workgroup size in threads
+     * @param num_regs    general registers per thread
+     * @param num_preds   predicate registers per thread
+     */
+    WarpState(WarpId warp_id, std::uint32_t wg_index,
+              std::uint32_t warp_in_wg, std::uint32_t ntid, int num_regs,
+              int num_preds);
+
+    /// @name Register file access
+    /// @{
+    std::int64_t
+    reg(unsigned lane, int r) const
+    {
+        return regs_[lane * num_regs_ + r];
+    }
+    void
+    set_reg(unsigned lane, int r, std::int64_t v)
+    {
+        regs_[lane * num_regs_ + r] = v;
+    }
+    bool
+    pred(unsigned lane, int p) const
+    {
+        return (preds_[p] >> lane) & 1;
+    }
+    void
+    set_pred(unsigned lane, int p, bool v)
+    {
+        if (v)
+            preds_[p] |= LaneMask{1} << lane;
+        else
+            preds_[p] &= ~(LaneMask{1} << lane);
+    }
+    /** Full predicate mask for register @p p. */
+    LaneMask pred_mask(int p) const { return preds_[p]; }
+    /// @}
+
+    /// @name Thread identity
+    /// @{
+    std::uint32_t wg_index() const { return wg_index_; }
+    std::uint32_t warp_in_wg() const { return warp_in_wg_; }
+    std::uint32_t ntid() const { return ntid_; }
+    /** Thread index within the workgroup for @p lane. */
+    std::uint32_t
+    tid(unsigned lane) const
+    {
+        return warp_in_wg_ * kWarpSize + lane;
+    }
+    /** Lanes whose tid is within the workgroup size. */
+    LaneMask valid_lanes() const;
+    /// @}
+
+    /// @name SIMT control
+    /// @{
+    int pc = 0;
+    LaneMask active = kFullMask;
+    std::vector<SimtEntry> simt_stack;
+
+    /**
+     * Applies reconvergence: while the top-of-stack reconvergence point
+     * equals pc, switch to the pending side or pop-and-restore.
+     */
+    void reconverge();
+
+    /**
+     * Executes branch semantics for @p taken_mask lanes of the currently
+     * active mask targeting @p target.
+     */
+    void branch(int target, LaneMask taken_mask, int next_pc);
+    /// @}
+
+    /// @name Scheduling
+    /// @{
+    WarpId id;
+    WarpStatus status = WarpStatus::Ready;
+    Cycle ready_cycle = 0;
+    Cycle last_issue = 0; //!< for greedy-then-oldest ordering
+    /// @}
+
+  private:
+    std::uint32_t wg_index_;
+    std::uint32_t warp_in_wg_;
+    std::uint32_t ntid_;
+    int num_regs_;
+    std::vector<std::int64_t> regs_;
+    std::vector<LaneMask> preds_;
+};
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SIM_WARP_H

@@ -1,0 +1,136 @@
+#include "workloads/corpus.h"
+
+#include <algorithm>
+
+namespace gpushield::workloads {
+
+namespace {
+
+/**
+ * Builds the 145-benchmark corpus. Bucket composition reproduces the
+ * paper's aggregates: 81 benchmarks with <5 buffers (55.9%), 40 with
+ * 5-9, 19 with 10-19, and 5 with >=20 (max 34); total buffer count 943
+ * gives the 6.5 average.
+ */
+std::vector<CorpusRecord>
+build_corpus()
+{
+    const char *suites[] = {"Chai",          "CloverLeaf", "FinanceBench",
+                            "Hetero-Mark",   "OpenDwarf",  "Parboil",
+                            "PolyBench/ACC", "SHOC",       "SNAP",
+                            "TeaLeaf",       "XSBench",    "pannotia",
+                            "rodinia"};
+    const unsigned per_suite[] = {12, 2, 8, 11, 10, 11, 19, 11, 4, 2, 3,
+                                  12, 40};
+
+    // Bucket members, in deterministic round-robin order.
+    std::vector<unsigned> counts;
+    for (int i = 0; i < 27; ++i) { // 81 values averaging 3.0
+        counts.push_back(2);
+        counts.push_back(3);
+        counts.push_back(4);
+    }
+    for (int i = 0; i < 8; ++i) { // 40 values averaging 7.0
+        for (unsigned c : {5u, 6u, 7u, 8u, 9u})
+            counts.push_back(c);
+    }
+    for (int i = 0; i < 11; ++i) // 19 values summing 277
+        counts.push_back(14);
+    for (int i = 0; i < 5; ++i)
+        counts.push_back(15);
+    for (int i = 0; i < 3; ++i)
+        counts.push_back(16);
+    for (unsigned c : {22u, 26u, 29u, 32u, 34u}) // the five >=20 outliers
+        counts.push_back(c);
+
+    // Interleave buckets so every suite gets a realistic mixture.
+    std::vector<unsigned> order(counts.size());
+    std::size_t w = 0;
+    for (std::size_t stride = 0; stride < 5; ++stride)
+        for (std::size_t i = stride; i < counts.size(); i += 5)
+            order[w++] = counts[i];
+
+    std::vector<CorpusRecord> records;
+    records.reserve(order.size());
+    std::size_t next = 0;
+    for (std::size_t s = 0; s < std::size(suites); ++s) {
+        for (unsigned b = 0; b < per_suite[s]; ++b) {
+            CorpusRecord r;
+            r.suite = suites[s];
+            r.name = std::string(suites[s]) + "." + std::to_string(b);
+            r.num_buffers = order[next++];
+            records.push_back(r);
+        }
+    }
+    return records;
+}
+
+} // namespace
+
+const std::vector<CorpusRecord> &
+corpus()
+{
+    static const std::vector<CorpusRecord> records = build_corpus();
+    return records;
+}
+
+const std::vector<FootprintRecord> &
+rodinia_footprints()
+{
+    static const std::vector<FootprintRecord> records = {
+        {"b+tree", 7, 1400},     {"backprop", 6, 700},
+        {"bfs", 4, 1100},        {"cfd", 5, 1600},
+        {"dwt2d", 4, 1200},      {"gaussian", 4, 480},
+        {"heartwall", 8, 900},   {"hotspot", 3, 800},
+        {"hotspot3D", 3, 2000},  {"hybridsort", 6, 1500},
+        {"kmeans", 5, 1100},     {"lavaMD", 5, 520},
+        {"lud", 2, 260},         {"myocyte", 5, 30},
+        {"nn", 2, 30000},        {"nw", 3, 1400},
+        {"particlefilter", 12, 250}, {"pathfinder", 3, 1000},
+        {"srad", 8, 800},        {"streamcluster", 8, 500},
+    };
+    return records;
+}
+
+CorpusStats
+corpus_stats()
+{
+    CorpusStats stats;
+    const auto &records = corpus();
+    stats.benchmarks = records.size();
+    std::uint64_t total = 0;
+    std::size_t u5 = 0, u10 = 0, u20 = 0;
+    for (const CorpusRecord &r : records) {
+        total += r.num_buffers;
+        stats.max_buffers = std::max(stats.max_buffers, r.num_buffers);
+        if (r.num_buffers < 5)
+            ++u5;
+        if (r.num_buffers < 10)
+            ++u10;
+        if (r.num_buffers < 20)
+            ++u20;
+    }
+    const auto n = static_cast<double>(records.size());
+    stats.avg_buffers = static_cast<double>(total) / n;
+    stats.fraction_under5 = static_cast<double>(u5) / n;
+    stats.fraction_under10 = static_cast<double>(u10) / n;
+    stats.fraction_under20 = static_cast<double>(u20) / n;
+    return stats;
+}
+
+double
+rodinia_avg_pages_per_buffer()
+{
+    std::uint64_t pages = 0;
+    std::uint64_t buffers = 0;
+    for (const FootprintRecord &r : rodinia_footprints()) {
+        pages += static_cast<std::uint64_t>(r.num_buffers) *
+                 r.pages_per_buffer;
+        buffers += r.num_buffers;
+    }
+    return buffers == 0 ? 0.0
+                        : static_cast<double>(pages) /
+                              static_cast<double>(buffers);
+}
+
+} // namespace gpushield::workloads

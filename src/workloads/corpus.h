@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Benchmark-corpus characterization data (Figs. 1 and 11).
+ *
+ * Figure 1 characterizes 145 GPU benchmarks across 13 suites by the
+ * number of memory buffers each uses (max 34, average 6.5, 55.9% under
+ * five buffers); Figure 11 characterizes the Rodinia suite by 4KB pages
+ * touched per buffer (average ≈ 1425). The full 145-benchmark corpus is
+ * far larger than the subset this repository simulates, so — per the
+ * substitution rules in DESIGN.md — this module encodes a per-benchmark
+ * characterization table whose aggregate statistics match the paper's
+ * reported numbers; the simulated subset's buffer counts are
+ * cross-checked against it in tests.
+ */
+
+#ifndef GPUSHIELD_WORKLOADS_CORPUS_H
+#define GPUSHIELD_WORKLOADS_CORPUS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpushield::workloads {
+
+/** One corpus benchmark's buffer-count record (Fig. 1). */
+struct CorpusRecord
+{
+    std::string suite;
+    std::string name;
+    unsigned num_buffers = 0;
+};
+
+/** Rodinia footprint record (Fig. 11). */
+struct FootprintRecord
+{
+    std::string name;
+    unsigned num_buffers = 0;
+    std::uint64_t pages_per_buffer = 0; //!< 4KB pages
+};
+
+/** The 145-benchmark, 13-suite corpus (Fig. 1). */
+const std::vector<CorpusRecord> &corpus();
+
+/** The Rodinia pages-per-buffer table (Fig. 11). */
+const std::vector<FootprintRecord> &rodinia_footprints();
+
+/** Aggregate buffer-count statistics over the corpus. */
+struct CorpusStats
+{
+    std::size_t benchmarks = 0;
+    unsigned max_buffers = 0;
+    double avg_buffers = 0.0;
+    double fraction_under5 = 0.0;
+    double fraction_under10 = 0.0;
+    double fraction_under20 = 0.0;
+};
+
+/** Computes Fig. 1's summary statistics. */
+CorpusStats corpus_stats();
+
+/** Buffer-weighted average pages per buffer (Fig. 11's 1425). */
+double rodinia_avg_pages_per_buffer();
+
+} // namespace gpushield::workloads
+
+#endif // GPUSHIELD_WORKLOADS_CORPUS_H

@@ -1,0 +1,378 @@
+#include "workloads/kernels.h"
+
+namespace gpushield::workloads {
+
+namespace {
+
+/**
+ * Wraps @p body in `if (gid < n)` when the pattern asks for a software
+ * guard; `n` is the trailing scalar argument.
+ */
+void
+maybe_guard(KernelBuilder &b, const PatternParams &p, int gid, int n_arg,
+            const std::function<void()> &body)
+{
+    if (!p.tid_guard) {
+        body();
+        return;
+    }
+    const int n = b.ldarg(n_arg);
+    const int ok = b.setp(Cmp::Lt, gid, n);
+    b.if_then(ok, /*neg=*/false, body);
+}
+
+} // namespace
+
+KernelProgram
+make_streaming(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    std::vector<int> ins;
+    for (unsigned i = 0; i < p.inputs; ++i)
+        ins.push_back(b.arg_ptr("in" + std::to_string(i)));
+    const int out = b.arg_ptr("out");
+    const int n_arg = p.tid_guard ? b.arg_scalar("n") : -1;
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    maybe_guard(b, p, gid, n_arg, [&] {
+        int acc = b.mov_imm(0);
+        for (unsigned i = 0; i < p.inputs; ++i) {
+            const int base = b.ldarg(static_cast<int>(ins[i]));
+            int v;
+            if (p.base_offset) {
+                v = b.ld_bo(base, gid, p.elem_size, 0, p.elem_size);
+            } else {
+                const int addr = b.gep(base, gid, p.elem_size);
+                v = b.ld(addr, p.elem_size);
+            }
+            acc = b.alu(Op::Add, acc, v);
+        }
+        for (unsigned k = 1; k < p.inner_iters; ++k)
+            acc = b.alui(Op::Mul, acc, 3 + k);
+        const int obase = b.ldarg(out);
+        if (p.base_offset) {
+            b.st_bo(obase, gid, p.elem_size, acc, 0, p.elem_size);
+        } else {
+            const int addr = b.gep(obase, gid, p.elem_size);
+            b.st(addr, acc, p.elem_size);
+        }
+    });
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_strided(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int in = b.arg_ptr("in");
+    const int out = b.arg_ptr("out");
+    const int n_arg = b.arg_scalar("n"); // element count (used for wrap)
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int n = b.ldarg(n_arg);
+    const int ibase = b.ldarg(in);
+    const int iaddr = b.gep(ibase, gid, p.elem_size);
+    const int v = b.ld(iaddr, p.elem_size);
+    // dst = (gid * stride) % n  — poorly coalesced permutation.
+    const int scaled = b.alui(Op::Mul, gid, p.stride);
+    const int dst = b.alu(Op::Rem, scaled, n);
+    const int obase = b.ldarg(out);
+    const int oaddr = b.gep(obase, dst, p.elem_size);
+    b.st(oaddr, v, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_stencil(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int in = b.arg_ptr("in");
+    const int out = b.arg_ptr("out");
+    const int n_arg = b.arg_scalar("n");
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int n = b.ldarg(n_arg);
+    // Interior guard: 1 <= gid < n-1.
+    const int nm1 = b.alui(Op::Sub, n, 1);
+    const int lo_ok = b.setpi(Cmp::Ge, gid, 1);
+    b.if_then(lo_ok, false, [&] {
+        const int hi_ok = b.setp(Cmp::Lt, gid, nm1);
+        b.if_then(hi_ok, false, [&] {
+            const int ibase = b.ldarg(in);
+            int acc = b.mov_imm(0);
+            for (unsigned it = 0; it < std::max(1u, p.inner_iters); ++it) {
+                const int al = b.gep(ibase, gid, p.elem_size,
+                                     -static_cast<std::int64_t>(p.elem_size));
+                const int ac = b.gep(ibase, gid, p.elem_size);
+                const int ar = b.gep(ibase, gid, p.elem_size, p.elem_size);
+                const int vl = b.ld(al, p.elem_size);
+                const int vc = b.ld(ac, p.elem_size);
+                const int vr = b.ld(ar, p.elem_size);
+                acc = b.alu(Op::Add, acc, b.alu(Op::Add, vl,
+                                                b.alu(Op::Add, vc, vr)));
+            }
+            const int obase = b.ldarg(out);
+            const int oaddr = b.gep(obase, gid, p.elem_size);
+            b.st(oaddr, acc, p.elem_size);
+        });
+    });
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_reduction(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int in = b.arg_ptr("in");
+    const int out = b.arg_ptr("out");
+    b.shared_mem(4096);
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int tid = b.sreg(SpecialReg::TidX);
+    const int ibase = b.ldarg(in);
+    const int iaddr = b.gep(ibase, gid, p.elem_size);
+    const int v = b.ld(iaddr, p.elem_size);
+    const int saddr = b.alui(Op::Mul, tid, 4);
+    b.sts(saddr, v, 4);
+    b.bar();
+    // log-tree partial reduction in shared memory.
+    for (unsigned step = 1; step < 8; step *= 2) {
+        const int peer = b.alui(Op::Add, saddr, step * 4);
+        const int pv = b.lds(peer, 4);
+        const int mine = b.lds(saddr, 4);
+        const int sum = b.alu(Op::Add, mine, pv);
+        b.sts(saddr, sum, 4);
+        b.bar();
+    }
+    // Thread 0 of each workgroup writes the partial result.
+    const int is0 = b.setpi(Cmp::Lt, tid, 1);
+    b.if_then(is0, false, [&] {
+        const int cta = b.sreg(SpecialReg::CtaIdX);
+        const int obase = b.ldarg(out);
+        const int sum = b.lds(saddr, 4);
+        const int oaddr = b.gep(obase, cta, p.elem_size);
+        b.st(oaddr, sum, p.elem_size);
+    });
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_indirect(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int idx = b.arg_ptr("index");
+    const int data = b.arg_ptr("data");
+    const int out = b.arg_ptr("out");
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int ibase = b.ldarg(idx);
+    const int iaddr = b.gep(ibase, gid, 4);
+    const int target = b.ld(iaddr, 4); // runtime value: defeats static pass
+    const int dbase = b.ldarg(data);
+    const int daddr = b.gep(dbase, target, p.elem_size);
+    const int v = b.ld(daddr, p.elem_size);
+    const int obase = b.ldarg(out);
+    const int oaddr = b.gep(obase, gid, p.elem_size);
+    b.st(oaddr, v, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_graph(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int row = b.arg_ptr("row_ptr");
+    const int col = b.arg_ptr("col_idx");
+    const int val = b.arg_ptr("values");
+    const int out = b.arg_ptr("out");
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int rbase = b.ldarg(row);
+    const int r0a = b.gep(rbase, gid, 4);
+    const int r1a = b.gep(rbase, gid, 4, 4);
+    const int start = b.ld(r0a, 4);
+    const int end = b.ld(r1a, 4);
+    const int degree = b.alu(Op::Sub, end, start);
+
+    const int acc = b.mov_imm(0);
+    b.loop_count(degree, [&](int e) {
+        const int edge = b.alu(Op::Add, start, e);
+        const int cbase = b.ldarg(col);
+        const int caddr = b.gep(cbase, edge, 4);
+        const int neighbor = b.ld(caddr, 4);
+        const int vbase = b.ldarg(val);
+        const int vaddr = b.gep(vbase, neighbor, p.elem_size);
+        const int v = b.ld(vaddr, p.elem_size);
+        const int sum = b.alu(Op::Add, acc, v);
+        b.mov(acc, sum);
+    });
+    const int obase = b.ldarg(out);
+    const int oaddr = b.gep(obase, gid, p.elem_size);
+    b.st(oaddr, acc, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_tiled_mm(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int a = b.arg_ptr("A");
+    const int bb = b.arg_ptr("B");
+    const int c = b.arg_ptr("C");
+    const int n_arg = b.arg_scalar("n"); // matrix dimension
+    b.shared_mem(2 * 256 * 4);
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int tid = b.sreg(SpecialReg::TidX);
+    const int n = b.ldarg(n_arg);
+    const int rowi = b.alu(Op::Divi, gid, n);
+    const int coli = b.alu(Op::Rem, gid, n);
+
+    const int acc = b.mov_imm(0);
+    const int tiles = b.alui(Op::Shr, n, 4); // 16-wide tiles
+    b.loop_count(tiles, [&](int t) {
+        const int abase = b.ldarg(a);
+        const int bbase = b.ldarg(bb);
+        // Stage one element of each tile into shared memory.
+        const int t16 = b.alui(Op::Mul, t, 16);
+        const int acol = b.alu(Op::Add, t16, b.alui(Op::Rem, tid, 16));
+        const int aidx = b.mad(rowi, n, acol);
+        const int aaddr = b.gep(abase, aidx, p.elem_size);
+        const int av = b.ld(aaddr, p.elem_size);
+        const int brow = b.alu(Op::Add, t16, b.alui(Op::Divi, tid, 16));
+        const int bidx = b.mad(brow, n, coli);
+        const int baddr = b.gep(bbase, bidx, p.elem_size);
+        const int bv = b.ld(baddr, p.elem_size);
+        const int sa = b.alui(Op::Mul, tid, 8);
+        b.sts(sa, av, 4);
+        const int sb = b.alui(Op::Add, sa, 4);
+        b.sts(sb, bv, 4);
+        b.bar();
+        const int sv1 = b.lds(sa, 4);
+        const int sv2 = b.lds(sb, 4);
+        const int prod = b.alu(Op::Mul, sv1, sv2);
+        const int sum = b.alu(Op::Add, acc, prod);
+        b.mov(acc, sum);
+        b.bar();
+    });
+    const int cbase = b.ldarg(c);
+    const int caddr = b.gep(cbase, gid, p.elem_size);
+    b.st(caddr, acc, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_local_array(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int in = b.arg_ptr("in");
+    const int out = b.arg_ptr("out");
+    const unsigned elems = std::max(2u, p.inner_iters);
+    const int scratch = b.local("scratch", 4, elems);
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int nthreads = b.sreg(SpecialReg::NThreads);
+    const int ibase = b.ldarg(in);
+    const int iaddr = b.gep(ibase, gid, p.elem_size);
+    const int v = b.ld(iaddr, p.elem_size);
+
+    // Local arrays interleave per thread: &scratch[e] for thread t is
+    // base + (e * nthreads + t) * 4 (§3.1's local-memory layout).
+    const int lbase = b.ldloc(scratch);
+    for (unsigned e = 0; e < elems; ++e) {
+        const int slot = b.mad(b.mov_imm(static_cast<std::int64_t>(e)),
+                               nthreads, gid);
+        const int laddr = b.gep(lbase, slot, 4);
+        const int ve = b.alui(Op::Add, v, e);
+        b.st(laddr, ve, 4, MemSpace::Local);
+    }
+    int acc = b.mov_imm(0);
+    for (unsigned e = 0; e < elems; ++e) {
+        const int slot = b.mad(b.mov_imm(static_cast<std::int64_t>(e)),
+                               nthreads, gid);
+        const int laddr = b.gep(lbase, slot, 4);
+        const int lv = b.ld(laddr, 4, MemSpace::Local);
+        acc = b.alu(Op::Add, acc, lv);
+    }
+    const int obase = b.ldarg(out);
+    const int oaddr = b.gep(obase, gid, p.elem_size);
+    b.st(oaddr, acc, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_heap(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    const int out = b.arg_ptr("out");
+    const int size_arg = b.arg_scalar("alloc_bytes");
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int bytes = b.ldarg(size_arg);
+    const int buf = b.malloc_heap(bytes);
+    // Touch the allocation.
+    const int a0 = b.gep(buf, b.mov_imm(0), 1);
+    b.st(a0, gid, 4, MemSpace::Heap);
+    const int v = b.ld(a0, 4, MemSpace::Heap);
+    const int obase = b.ldarg(out);
+    const int oaddr = b.gep(obase, gid, p.elem_size);
+    b.st(oaddr, v, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_multibuffer(const PatternParams &p)
+{
+    KernelBuilder b(p.name);
+    std::vector<int> bufs;
+    for (unsigned i = 0; i < p.inputs; ++i)
+        bufs.push_back(b.arg_ptr("buf" + std::to_string(i)));
+    const int out = b.arg_ptr("out");
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    int acc = b.mov_imm(0);
+    for (unsigned r = 0; r < std::max(1u, p.inner_iters); ++r) {
+        for (unsigned i = 0; i < p.inputs; ++i) {
+            const int base = b.ldarg(bufs[i]);
+            const int addr = b.gep(base, gid, p.elem_size);
+            const int v = b.ld(addr, p.elem_size);
+            acc = b.alu(Op::Add, acc, v);
+        }
+    }
+    const int obase = b.ldarg(out);
+    const int oaddr = b.gep(obase, gid, p.elem_size);
+    b.st(oaddr, acc, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+KernelProgram
+make_overflowing(const PatternParams &p, std::int64_t overflow_offset)
+{
+    KernelBuilder b(p.name);
+    const int in = b.arg_ptr("in");
+    const int out = b.arg_ptr("out");
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int ibase = b.ldarg(in);
+    const int iaddr = b.gep(ibase, gid, p.elem_size);
+    const int v = b.ld(iaddr, p.elem_size);
+    const int obase = b.ldarg(out);
+    const int oaddr =
+        b.gep(obase, gid, p.elem_size,
+              overflow_offset * static_cast<std::int64_t>(p.elem_size));
+    b.st(oaddr, v, p.elem_size);
+    b.exit();
+    return b.finish();
+}
+
+} // namespace gpushield::workloads

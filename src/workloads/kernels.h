@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Parameterized kernel patterns.
+ *
+ * The paper evaluates 88 CUDA + 17 OpenCL benchmarks. Their bounds-
+ * checking behaviour is governed by a handful of properties — buffer
+ * count, addressing regularity (affine vs indirect), guard branches,
+ * coalescing, footprint, shared-memory blocking — so the corpus here is
+ * generated from a small set of faithful access patterns which
+ * `suites.cc` instantiates under the paper's benchmark names with
+ * per-benchmark parameters.
+ */
+
+#ifndef GPUSHIELD_WORKLOADS_KERNELS_H
+#define GPUSHIELD_WORKLOADS_KERNELS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/builder.h"
+#include "isa/ir.h"
+
+namespace gpushield::workloads {
+
+/** Pattern knobs shared by the generators. */
+struct PatternParams
+{
+    std::string name = "kernel";
+    unsigned elem_size = 4;
+    /** Number of input streaming buffers (total buffers varies per
+     *  pattern; see each generator). */
+    unsigned inputs = 2;
+    /** Inner-loop trip count (compute intensity). */
+    unsigned inner_iters = 4;
+    /** Guard accesses with `if (gid < n)` — §6.4 software checking. */
+    bool tid_guard = false;
+    /** Use base+offset (Method C) addressing — Intel-style kernels. */
+    bool base_offset = false;
+    /** Stride (in elements) between consecutive threads' accesses. */
+    unsigned stride = 1;
+};
+
+/**
+ * out[gid] = sum(in_k[gid]) — the canonical streaming kernel
+ * (vectoradd, saxpy, blackscholes, ...). Buffers: inputs + 1 output
+ * (+1 scalar arg `n` when guarded).
+ */
+KernelProgram make_streaming(const PatternParams &p);
+
+/**
+ * out[gid*stride % n] = in[gid] — strided/transposed access that
+ * coalesces poorly (hybridsort, dwt, transpose phases).
+ */
+KernelProgram make_strided(const PatternParams &p);
+
+/**
+ * out[gid] = f(in[gid-1], in[gid], in[gid+1]) over `inner_iters`
+ * sweeps — 1D stencil (hotspot, srad, pathfinder).
+ */
+KernelProgram make_stencil(const PatternParams &p);
+
+/**
+ * Tree reduction through shared memory (Reduction, scalarprod,
+ * histogram-like). Buffers: 1 input + 1 output.
+ */
+KernelProgram make_reduction(const PatternParams &p);
+
+/**
+ * out[gid] = data[index[gid]] — indirect gather (spmv, bfs, graph
+ * benchmarks). The index buffer defeats static analysis, forcing
+ * runtime checks (Fig. 17's graph benchmarks).
+ */
+KernelProgram make_indirect(const PatternParams &p);
+
+/**
+ * Indirect scatter with a frontier inner loop (bfs/sssp-like):
+ * for e in [row[gid], row[gid+1]) : out[col[e]] = ...
+ */
+KernelProgram make_graph(const PatternParams &p);
+
+/**
+ * Shared-memory-tiled matrix multiply step (mm, GEMM, lud):
+ * loads a tile, barriers, accumulates. Buffers: A, B, C.
+ */
+KernelProgram make_tiled_mm(const PatternParams &p);
+
+/**
+ * Compute-heavy kernel with per-thread local (off-chip stack) arrays —
+ * lavaMD/myocyte-style. Exercises local-variable bounds entries.
+ */
+KernelProgram make_local_array(const PatternParams &p);
+
+/**
+ * Device-malloc workload: each thread allocates a scratch buffer and
+ * writes through it (footnote 2's contention study).
+ */
+KernelProgram make_heap(const PatternParams &p);
+
+/**
+ * Many-buffer streaming kernel: one load+store round-robin over
+ * `inputs` distinct buffers per thread (Chai/Hetero-Mark-like kernels
+ * with 10-30 buffers; stresses the RCache).
+ */
+KernelProgram make_multibuffer(const PatternParams &p);
+
+/**
+ * Deliberately overflowing variant of make_streaming: thread `gid`
+ * writes out[gid + overflow_at] so the tail of the grid escapes the
+ * buffer. Used by attack demos and detection tests.
+ */
+KernelProgram make_overflowing(const PatternParams &p,
+                               std::int64_t overflow_offset);
+
+} // namespace gpushield::workloads
+
+#endif // GPUSHIELD_WORKLOADS_KERNELS_H

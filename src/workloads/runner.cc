@@ -1,0 +1,51 @@
+#include "workloads/runner.h"
+
+namespace gpushield::workloads {
+
+RunOutcome
+run_workload(const GpuConfig &cfg, Driver &driver,
+             const WorkloadInstance &instance, bool shield, bool use_static,
+             Cycle extra_cycles_per_mem, unsigned extra_transactions)
+{
+    Gpu gpu(cfg, driver);
+    LaunchState state = driver.launch(instance.make_config(shield, use_static));
+    const std::size_t idx =
+        gpu.launch(std::move(state), ~std::uint64_t{0},
+                   extra_cycles_per_mem, extra_transactions);
+    gpu.run();
+
+    RunOutcome out;
+    out.result = gpu.result(idx);
+    out.canaries = driver.finish(gpu.launch_state(idx));
+    out.rcache = gpu.rcache_stats();
+    out.bcu = gpu.bcu_stats();
+    out.l1_rcache_hit_rate = gpu.rcache_l1_hit_rate();
+    return out;
+}
+
+MultiLaunchOutcome
+run_workload_n(const GpuConfig &cfg, Driver &driver,
+               const WorkloadInstance &instance, unsigned launches,
+               bool shield, bool use_static, Cycle extra_cycles_per_mem,
+               unsigned extra_transactions)
+{
+    Gpu gpu(cfg, driver);
+    MultiLaunchOutcome out;
+    for (unsigned i = 0; i < launches; ++i) {
+        LaunchState state =
+            driver.launch(instance.make_config(shield, use_static));
+        const std::size_t idx =
+            gpu.launch(std::move(state), ~std::uint64_t{0},
+                       extra_cycles_per_mem, extra_transactions);
+        gpu.run();
+        const KernelResult r = gpu.result(idx);
+        out.total_cycles += r.cycles();
+        out.violations += r.violations.size();
+        driver.finish(gpu.launch_state(idx));
+    }
+    out.rcache = gpu.rcache_stats();
+    out.bcu = gpu.bcu_stats();
+    return out;
+}
+
+} // namespace gpushield::workloads

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Convenience harness: launch a WorkloadInstance on a fresh or existing
+ * GPU, run to completion, and collect results. Shared by tests,
+ * examples, and the benchmark binaries.
+ */
+
+#ifndef GPUSHIELD_WORKLOADS_RUNNER_H
+#define GPUSHIELD_WORKLOADS_RUNNER_H
+
+#include <vector>
+
+#include "sim/gpu.h"
+#include "workloads/suites.h"
+
+namespace gpushield::workloads {
+
+/** Everything a single-kernel run produces. */
+struct RunOutcome
+{
+    KernelResult result;
+    std::vector<CanaryReport> canaries;
+    StatSet rcache;       //!< aggregated RCache stats
+    StatSet bcu;          //!< aggregated BCU stats
+    double l1_rcache_hit_rate = 0.0;
+};
+
+/** Runs @p instance once on a freshly constructed GPU. */
+RunOutcome run_workload(const GpuConfig &cfg, Driver &driver,
+                        const WorkloadInstance &instance, bool shield,
+                        bool use_static,
+                        Cycle extra_cycles_per_mem = 0,
+                        unsigned extra_transactions = 0);
+
+/**
+ * Runs @p instance @p launches times back-to-back on one GPU (RCaches
+ * flush between kernels as the paper requires). Returns total cycles
+ * across all launches plus the aggregated stats of the final state.
+ */
+struct MultiLaunchOutcome
+{
+    Cycle total_cycles = 0;
+    StatSet rcache;
+    StatSet bcu;
+    std::uint64_t violations = 0;
+};
+
+MultiLaunchOutcome run_workload_n(const GpuConfig &cfg, Driver &driver,
+                                  const WorkloadInstance &instance,
+                                  unsigned launches, bool shield,
+                                  bool use_static,
+                                  Cycle extra_cycles_per_mem = 0,
+                                  unsigned extra_transactions = 0);
+
+} // namespace gpushield::workloads
+
+#endif // GPUSHIELD_WORKLOADS_RUNNER_H

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the high-level host API (api::Context): memory management,
+ * positional argument binding, launch options, and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "api/gpushield_api.h"
+#include "isa/builder.h"
+#include "workloads/kernels.h"
+
+namespace gpushield {
+namespace {
+
+using namespace api;
+using workloads::PatternParams;
+
+GpuConfig
+small_config()
+{
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 4;
+    return cfg;
+}
+
+TEST(Api, VectorAddEndToEnd)
+{
+    Context ctx(small_config());
+
+    PatternParams p;
+    p.name = "vecadd";
+    p.inputs = 2;
+    p.inner_iters = 1;
+    const KernelProgram prog = workloads::make_streaming(p);
+
+    const std::uint64_t n = 4096;
+    const Buffer a = ctx.malloc(n * 4);
+    const Buffer b = ctx.malloc(n * 4);
+    const Buffer c = ctx.malloc(n * 4);
+    std::vector<std::int32_t> ha(n), hb(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        ha[i] = static_cast<std::int32_t>(i);
+        hb[i] = static_cast<std::int32_t>(i * i % 97);
+    }
+    ctx.upload(a, ha.data(), n * 4);
+    ctx.upload(b, hb.data(), n * 4);
+
+    const LaunchResult r =
+        ctx.launch(prog, {256, 16}, {arg(a), arg(b), arg(c)});
+    EXPECT_FALSE(r.aborted);
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_GT(r.cycles, 0u);
+    // Static analysis is on by default: checks elided entirely.
+    EXPECT_EQ(r.stats.get("checks"), 0u);
+    EXPECT_GT(r.stats.get("checks_elided"), 0u);
+
+    std::vector<std::int32_t> hc(n);
+    ctx.download(c, hc.data(), n * 4);
+    for (std::uint64_t i = 0; i < n; ++i)
+        ASSERT_EQ(hc[i], ha[i] + hb[i]);
+}
+
+TEST(Api, DetectsOverflowingKernel)
+{
+    Context ctx(small_config());
+    PatternParams p;
+    p.name = "oob";
+    const KernelProgram prog = workloads::make_overflowing(p, 32);
+
+    const std::uint64_t n = 1024;
+    const Buffer in = ctx.malloc(n * 4);
+    const Buffer out = ctx.malloc(n * 4);
+    const LaunchResult r =
+        ctx.launch(prog, {256, 4}, {arg(in), arg(out)});
+    EXPECT_FALSE(r.violations.empty());
+    EXPECT_FALSE(r.aborted);
+}
+
+TEST(Api, ScalarArgumentsAndStaticFlag)
+{
+    Context ctx(small_config());
+    PatternParams p;
+    p.name = "guarded";
+    p.inputs = 1;
+    p.inner_iters = 1;
+    p.tid_guard = true;
+    const KernelProgram prog = workloads::make_streaming(p);
+
+    const std::uint64_t n = 1024;
+    const Buffer in = ctx.malloc(n * 4);
+    const Buffer out = ctx.malloc(n * 4);
+
+    // Runtime scalar: checks stay.
+    const LaunchResult dynamic = ctx.launch(
+        prog, {256, 4},
+        {arg(in), arg(out), arg(static_cast<std::int64_t>(n))});
+    EXPECT_TRUE(dynamic.violations.empty());
+
+    // Shield off entirely: nothing checked.
+    LaunchOptions off;
+    off.shield = false;
+    const LaunchResult plain = ctx.launch(
+        prog, {256, 4},
+        {arg(in), arg(out), arg(static_cast<std::int64_t>(n))}, off);
+    EXPECT_EQ(plain.stats.get("checks"), 0u);
+    EXPECT_EQ(plain.stats.get("checks_elided"), 0u);
+}
+
+TEST(Api, ReadOnlyBufferEnforced)
+{
+    Context ctx(small_config());
+    KernelBuilder b("ro_poke");
+    const int lut = b.arg_ptr("lut");
+    const int base = b.ldarg(lut);
+    b.st(b.gep(base, b.mov_imm(0), 4), b.mov_imm(1), 4);
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    const Buffer ro = ctx.malloc(256, /*read_only=*/true);
+    const LaunchResult r = ctx.launch(prog, {1, 1}, {arg(ro)});
+    ASSERT_FALSE(r.violations.empty());
+    EXPECT_EQ(r.violations[0].kind, ViolationKind::ReadOnlyWrite);
+}
+
+TEST(Api, ArgumentMismatchIsFatal)
+{
+    Context ctx(small_config());
+    PatternParams p;
+    p.name = "vec";
+    p.inputs = 1;
+    const KernelProgram prog = workloads::make_streaming(p);
+    const Buffer buf = ctx.malloc(1024);
+
+    EXPECT_EXIT(ctx.launch(prog, {32, 1}, {arg(buf)}),
+                ::testing::ExitedWithCode(1), "argument count");
+    EXPECT_EXIT(ctx.launch(prog, {32, 1},
+                           {arg(std::int64_t{1}), arg(buf)}),
+                ::testing::ExitedWithCode(1), "must be a buffer");
+}
+
+TEST(Api, HeapKernelThroughApi)
+{
+    Context ctx(small_config());
+    PatternParams p;
+    p.name = "heapk";
+    const KernelProgram prog = workloads::make_heap(p);
+    const Buffer out = ctx.malloc(64 * 4);
+
+    LaunchOptions opts;
+    opts.heap_bytes = 1 << 16;
+    const LaunchResult r = ctx.launch(
+        prog, {64, 1}, {arg(out), arg(std::int64_t{16})}, opts);
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_EQ(r.stats.get("mallocs"), 64u);
+}
+
+TEST(Api, AddressOfMatchesDriverLayout)
+{
+    Context ctx(small_config());
+    const Buffer a = ctx.malloc(100);
+    const Buffer b = ctx.malloc(100);
+    EXPECT_EQ(ctx.address_of(b), ctx.address_of(a) + 512);
+}
+
+} // namespace
+} // namespace gpushield

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Security tests: the Fig. 4 SVM overflow cases, pointer forging, the
+ * mind-control-style attack setup, and GPUShield's detection of each
+ * (§3.1, §5.7, §6.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include "memsafety/attacks.h"
+#include "sim/config.h"
+
+namespace gpushield {
+namespace {
+
+GpuConfig
+small_config()
+{
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 2;
+    return cfg;
+}
+
+TEST(Fig4, UnprotectedBehaviourMatchesPaper)
+{
+    const memsafety::Fig4Outcome out =
+        memsafety::run_fig4(small_config(), /*shield=*/false);
+
+    // Case 1: within the 512B alignment pad — suppressed (no visible
+    // side effect on the neighbour), no abort.
+    EXPECT_FALSE(out.within_alignment.neighbor_corrupted);
+    EXPECT_FALSE(out.within_alignment.kernel_aborted);
+    EXPECT_FALSE(out.within_alignment.detected);
+
+    // Case 2: within the 2MB page — silent corruption of buffer B.
+    EXPECT_TRUE(out.within_page.neighbor_corrupted);
+    EXPECT_FALSE(out.within_page.kernel_aborted);
+
+    // Case 3: crossing the 2MB boundary — kernel aborted.
+    EXPECT_TRUE(out.crossing_page.kernel_aborted);
+    EXPECT_FALSE(out.crossing_page.neighbor_corrupted);
+}
+
+TEST(Fig4, GPUShieldDetectsAllThreeCases)
+{
+    const memsafety::Fig4Outcome out =
+        memsafety::run_fig4(small_config(), /*shield=*/true);
+
+    EXPECT_TRUE(out.within_alignment.detected);
+    EXPECT_TRUE(out.within_page.detected);
+    EXPECT_TRUE(out.crossing_page.detected);
+
+    // Stores are squashed: no corruption, no abort anywhere.
+    EXPECT_FALSE(out.within_alignment.neighbor_corrupted);
+    EXPECT_FALSE(out.within_page.neighbor_corrupted);
+    EXPECT_FALSE(out.crossing_page.neighbor_corrupted);
+    EXPECT_FALSE(out.within_alignment.kernel_aborted);
+    EXPECT_FALSE(out.within_page.kernel_aborted);
+    EXPECT_FALSE(out.crossing_page.kernel_aborted);
+}
+
+TEST(PointerForging, SucceedsWithoutShield)
+{
+    const memsafety::ForgeOutcome out =
+        memsafety::run_pointer_forging(small_config(), /*shield=*/false);
+    EXPECT_FALSE(out.detected);
+    EXPECT_FALSE(out.victim_intact); // attacker corrupted the victim
+}
+
+TEST(PointerForging, DefeatedByEncryptedIds)
+{
+    const memsafety::ForgeOutcome out =
+        memsafety::run_pointer_forging(small_config(), /*shield=*/true);
+    EXPECT_TRUE(out.detected);
+    EXPECT_TRUE(out.victim_intact);
+    // A forged ID decrypts to garbage: invalid entry, wrong kernel, or
+    // (rarely) another region whose bounds exclude the victim address.
+    EXPECT_TRUE(out.kind == ViolationKind::InvalidEntry ||
+                out.kind == ViolationKind::KernelMismatch ||
+                out.kind == ViolationKind::OutOfBounds);
+}
+
+TEST(MindControl, SetupPhaseSucceedsWithoutShield)
+{
+    const memsafety::MindControlOutcome out =
+        memsafety::run_mind_control(small_config(), /*shield=*/false);
+    EXPECT_TRUE(out.fptr_overwritten);
+    EXPECT_FALSE(out.detected);
+}
+
+TEST(MindControl, SetupPhaseBlockedByShield)
+{
+    const memsafety::MindControlOutcome out =
+        memsafety::run_mind_control(small_config(), /*shield=*/true);
+    EXPECT_FALSE(out.fptr_overwritten);
+    EXPECT_TRUE(out.detected);
+}
+
+} // namespace
+} // namespace gpushield

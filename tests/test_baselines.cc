@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Baseline-tool tests: the canary guard's detection capability and —
+ * crucially — its blind spots versus GPUShield (§4.1: canaries miss
+ * illegal reads and non-adjacent jumps), plus the cost-model helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/canary.h"
+#include "baselines/memcheck.h"
+#include "baselines/swcheck.h"
+#include "isa/builder.h"
+#include "sim/config.h"
+#include "sim/gpu.h"
+#include "workloads/kernels.h"
+#include "workloads/runner.h"
+
+namespace gpushield {
+namespace {
+
+using namespace baselines;
+using namespace workloads;
+
+GpuConfig
+small_config()
+{
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 2;
+    return cfg;
+}
+
+/** Runs a kernel writing at elem offset base+overflow for one thread. */
+void
+run_single_store(Driver &driver, BufferHandle target,
+                 std::int64_t elem_offset, bool shield)
+{
+    KernelBuilder b("poke");
+    const int a = b.arg_ptr("a");
+    const int base = b.ldarg(a);
+    const int idx = b.mov_imm(elem_offset);
+    b.st(b.gep(base, idx, 4), idx, 4);
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    LaunchConfig cfg;
+    cfg.program = &prog;
+    cfg.ntid = 1;
+    cfg.nctaid = 1;
+    cfg.buffers = {target};
+    cfg.shield_enabled = shield;
+
+    Gpu gpu(small_config(), driver);
+    gpu.launch(driver.launch(cfg));
+    gpu.run();
+}
+
+TEST(CanaryGuard, DetectsAdjacentOverflowWrite)
+{
+    GpuDevice dev(kPageSize2M);
+    Driver driver(dev);
+    CanaryGuard guard(driver, 128);
+    const BufferHandle buf = guard.create_guarded(256, "victim");
+
+    // Write just past the user region: lands in the canary.
+    run_single_store(driver, buf, 64 /* = byte 256 */, false);
+    const auto hits = guard.scan();
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].buffer_index, 0);
+    EXPECT_GT(hits[0].bytes, 0u);
+}
+
+TEST(CanaryGuard, MissesNonAdjacentJump)
+{
+    GpuDevice dev(kPageSize2M);
+    Driver driver(dev);
+    CanaryGuard guard(driver, 128);
+    const BufferHandle buf = guard.create_guarded(256, "victim");
+    driver.create_buffer(4096, false, false, "neighbour");
+
+    // Jump far past the canary (the §4.1 weakness): 256B user + 128B
+    // canary = 96 elements; write element 200.
+    run_single_store(driver, buf, 200, false);
+    EXPECT_TRUE(guard.scan().empty()) << "canary can't see this";
+
+    // GPUShield catches exactly this case.
+    GpuDevice dev2(kPageSize2M);
+    Driver driver2(dev2);
+    const BufferHandle b2 = driver2.create_buffer(256, false, false, "v");
+    driver2.create_buffer(4096, false, false, "n");
+    KernelBuilder kb("poke2");
+    const int arg = kb.arg_ptr("a");
+    const int base = kb.ldarg(arg);
+    kb.st(kb.gep(base, kb.mov_imm(200), 4), kb.mov_imm(7), 4);
+    kb.exit();
+    const KernelProgram prog = kb.finish();
+    LaunchConfig lc;
+    lc.program = &prog;
+    lc.ntid = 1;
+    lc.nctaid = 1;
+    lc.buffers = {b2};
+    lc.shield_enabled = true;
+    Gpu gpu(small_config(), driver2);
+    const auto idx = gpu.launch(driver2.launch(lc));
+    gpu.run();
+    EXPECT_FALSE(gpu.result(idx).violations.empty());
+}
+
+TEST(CanaryGuard, CannotDetectIllegalReads)
+{
+    GpuDevice dev(kPageSize2M);
+    Driver driver(dev);
+    CanaryGuard guard(driver, 128);
+    const BufferHandle buf = guard.create_guarded(256, "victim");
+
+    // An out-of-bounds *read* leaves the canary untouched. The guarded
+    // allocation is 256B user + 128B canary = 384B; element 120 (byte
+    // 480) is beyond even the canary, so the scan stays blind while
+    // GPUShield's bounds (the full 384B allocation) still catch it.
+    KernelBuilder b("peek");
+    const int a = b.arg_ptr("a");
+    const int out = b.arg_ptr("out");
+    const int base = b.ldarg(a);
+    const int v = b.ld(b.gep(base, b.mov_imm(120), 4), 4);
+    const int obase = b.ldarg(out);
+    b.st(b.gep(obase, b.mov_imm(0), 4), v, 4);
+    b.exit();
+    const KernelProgram prog = b.finish();
+    const BufferHandle sink = driver.create_buffer(64);
+
+    LaunchConfig lc;
+    lc.program = &prog;
+    lc.ntid = 1;
+    lc.nctaid = 1;
+    lc.buffers = {buf, sink};
+    lc.shield_enabled = false;
+    Gpu gpu1(small_config(), driver);
+    gpu1.launch(driver.launch(lc));
+    gpu1.run();
+    EXPECT_TRUE(guard.scan().empty()); // blind
+
+    lc.shield_enabled = true;
+    Gpu gpu2(small_config(), driver);
+    const auto idx = gpu2.launch(driver.launch(lc));
+    gpu2.run();
+    const KernelResult r = gpu2.result(idx);
+    ASSERT_FALSE(r.violations.empty()); // GPUShield sees the read
+    EXPECT_FALSE(r.violations[0].is_store);
+
+    // And the illegal load returned zero instead of leaking data.
+    std::int32_t leaked = -1;
+    driver.download(sink, &leaked, sizeof(leaked));
+    EXPECT_EQ(leaked, 0);
+}
+
+TEST(CanaryGuard, ArmRefillsCanary)
+{
+    GpuDevice dev(kPageSize2M);
+    Driver driver(dev);
+    CanaryGuard guard(driver, 64);
+    const BufferHandle buf = guard.create_guarded(128, "v");
+    run_single_store(driver, buf, 32, false); // corrupt canary
+    ASSERT_FALSE(guard.scan().empty());
+    guard.arm();
+    EXPECT_TRUE(guard.scan().empty());
+}
+
+TEST(ToolModels, CostShapesMatchMechanisms)
+{
+    const SwToolModel mc = memcheck_model();
+    const SwToolModel ca = clarmor_model();
+    const SwToolModel gm = gmod_model();
+
+    // MEMCHECK is instrumentation-heavy, canary tools are not.
+    EXPECT_GT(mc.extra_cycles_per_mem, 100u);
+    EXPECT_EQ(ca.extra_cycles_per_mem, 0u);
+    EXPECT_LE(gm.extra_cycles_per_mem, 4u);
+
+    // GMOD's per-launch ctor/dtor dominates the canary tools.
+    EXPECT_GT(gm.per_launch_cycles, ca.per_launch_cycles);
+
+    // clArmor's cost scales with the scanned footprint.
+    EXPECT_GT(ca.per_kb_cycles, 0u);
+}
+
+TEST(ToolModels, HostOverheadArithmetic)
+{
+    SwToolModel m;
+    m.per_launch_cycles = 100;
+    m.per_buffer_cycles = 10;
+    m.per_kb_cycles = 2;
+    EXPECT_EQ(host_overhead(m, 3, 50, 4), 4u * (100 + 30 + 100));
+    EXPECT_EQ(host_overhead(m, 0, 0, 0), 0u);
+}
+
+TEST(SwCheck, OverheadHelper)
+{
+    EXPECT_DOUBLE_EQ(sw_check_overhead(176, 100), 0.76);
+    EXPECT_DOUBLE_EQ(sw_check_overhead(100, 100), 0.0);
+    EXPECT_DOUBLE_EQ(sw_check_overhead(50, 0), 0.0);
+}
+
+} // namespace
+} // namespace gpushield

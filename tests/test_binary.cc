@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the kernel-binary format (Fig. 9's compiler → driver
+ * contract): exact round-trips for programs and BATs — including a
+ * property sweep over fuzz-generated kernels — plus robustness against
+ * malformed input.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compiler/binary.h"
+#include "compiler/static_analysis.h"
+#include "isa/builder.h"
+#include "workloads/kernels.h"
+
+namespace gpushield {
+namespace {
+
+using workloads::PatternParams;
+
+bool
+instr_equal(const Instr &a, const Instr &b)
+{
+    return a.op == b.op && a.rd == b.rd && a.ra == b.ra && a.rb == b.rb &&
+           a.rc == b.rc && a.imm == b.imm && a.cmp == b.cmp &&
+           a.sreg == b.sreg && a.arg_index == b.arg_index &&
+           a.scale == b.scale && a.disp == b.disp && a.size == b.size &&
+           a.space == b.space && a.base_offset == b.base_offset &&
+           a.bt_index == b.bt_index && a.target == b.target &&
+           a.pred == b.pred && a.neg_pred == b.neg_pred &&
+           a.check == b.check;
+}
+
+void
+expect_programs_equal(const KernelProgram &a, const KernelProgram &b)
+{
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.num_regs, b.num_regs);
+    EXPECT_EQ(a.num_preds, b.num_preds);
+    EXPECT_EQ(a.shared_bytes, b.shared_bytes);
+    ASSERT_EQ(a.args.size(), b.args.size());
+    for (std::size_t i = 0; i < a.args.size(); ++i) {
+        EXPECT_EQ(a.args[i].is_pointer, b.args[i].is_pointer);
+        EXPECT_EQ(a.args[i].buffer_index, b.args[i].buffer_index);
+        EXPECT_EQ(a.args[i].name, b.args[i].name);
+    }
+    ASSERT_EQ(a.locals.size(), b.locals.size());
+    ASSERT_EQ(a.code.size(), b.code.size());
+    for (std::size_t i = 0; i < a.code.size(); ++i)
+        EXPECT_TRUE(instr_equal(a.code[i], b.code[i])) << "pc " << i;
+}
+
+TEST(KernelBinary, ProgramRoundTrip)
+{
+    PatternParams p;
+    p.name = "roundtrip";
+    p.inputs = 3;
+    p.tid_guard = true;
+    const KernelProgram prog = workloads::make_streaming(p);
+    const auto bytes = serialize_program(prog);
+    const KernelProgram back = deserialize_program(bytes);
+    expect_programs_equal(prog, back);
+    // Disassembly is a convenient whole-program equality check too.
+    EXPECT_EQ(prog.disassemble(), back.disassemble());
+}
+
+class BinaryPatterns : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BinaryPatterns, AllPatternsRoundTrip)
+{
+    PatternParams p;
+    p.name = "pat" + std::to_string(GetParam());
+    KernelProgram prog;
+    switch (GetParam()) {
+      case 0: prog = workloads::make_streaming(p); break;
+      case 1: prog = workloads::make_strided(p); break;
+      case 2: prog = workloads::make_stencil(p); break;
+      case 3: prog = workloads::make_reduction(p); break;
+      case 4: prog = workloads::make_indirect(p); break;
+      case 5: prog = workloads::make_graph(p); break;
+      case 6: prog = workloads::make_tiled_mm(p); break;
+      case 7: prog = workloads::make_local_array(p); break;
+      case 8: prog = workloads::make_heap(p); break;
+      default: prog = workloads::make_multibuffer(p); break;
+    }
+    const KernelProgram back = deserialize_program(serialize_program(prog));
+    expect_programs_equal(prog, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Patterns, BinaryPatterns, ::testing::Range(0, 10));
+
+TEST(KernelBinary, BinaryWithBatRoundTrip)
+{
+    PatternParams p;
+    p.name = "with_bat";
+    p.inputs = 2;
+    KernelBinary binary;
+    binary.program = workloads::make_streaming(p);
+
+    StaticLaunchInfo info;
+    info.ntid = 256;
+    info.nctaid = 4;
+    info.arg_buffer_sizes.assign(binary.program.args.size(), 256 * 4 * 4);
+    info.arg_buffer_pow2.assign(binary.program.args.size(), false);
+    info.scalar_values.assign(binary.program.args.size(), std::nullopt);
+    binary.bat = analyze_kernel(binary.program, info);
+
+    const KernelBinary back = deserialize_binary(serialize_binary(binary));
+    expect_programs_equal(binary.program, back.program);
+    ASSERT_EQ(binary.bat.entries.size(), back.bat.entries.size());
+    for (std::size_t i = 0; i < binary.bat.entries.size(); ++i) {
+        EXPECT_EQ(binary.bat.entries[i].pc, back.bat.entries[i].pc);
+        EXPECT_EQ(binary.bat.entries[i].verdict,
+                  back.bat.entries[i].verdict);
+        EXPECT_EQ(binary.bat.entries[i].off_lo, back.bat.entries[i].off_lo);
+    }
+    EXPECT_EQ(binary.bat.pointer_types, back.bat.pointer_types);
+    EXPECT_EQ(binary.bat.to_string(), back.bat.to_string());
+}
+
+TEST(KernelBinary, TruncatedInputDies)
+{
+    PatternParams p;
+    p.name = "trunc";
+    auto bytes = serialize_program(workloads::make_streaming(p));
+    bytes.resize(bytes.size() / 2);
+    EXPECT_EXIT(deserialize_program(bytes),
+                ::testing::ExitedWithCode(1), "truncated");
+}
+
+TEST(KernelBinary, BadMagicDies)
+{
+    PatternParams p;
+    p.name = "magic";
+    auto bytes = serialize_program(workloads::make_streaming(p));
+    bytes[0] ^= 0xFF;
+    EXPECT_EXIT(deserialize_program(bytes),
+                ::testing::ExitedWithCode(1), "magic");
+}
+
+TEST(KernelBinary, WrongSectionKindDies)
+{
+    PatternParams p;
+    p.name = "kind";
+    const auto bytes = serialize_program(workloads::make_streaming(p));
+    EXPECT_EXIT(deserialize_binary(bytes),
+                ::testing::ExitedWithCode(1), "BAT");
+}
+
+} // namespace
+} // namespace gpushield

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Unit tests for the common utilities: bit manipulation, the PRNG, the
+ * statistics registry, and the event queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "common/bitutil.h"
+#include "common/event_queue.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace gpushield {
+namespace {
+
+TEST(BitUtil, IsPow2)
+{
+    EXPECT_TRUE(is_pow2(1));
+    EXPECT_TRUE(is_pow2(2));
+    EXPECT_TRUE(is_pow2(4096));
+    EXPECT_TRUE(is_pow2(std::uint64_t{1} << 63));
+    EXPECT_FALSE(is_pow2(0));
+    EXPECT_FALSE(is_pow2(3));
+    EXPECT_FALSE(is_pow2(4097));
+}
+
+TEST(BitUtil, AlignUpDown)
+{
+    EXPECT_EQ(align_up(0, 512), 0u);
+    EXPECT_EQ(align_up(1, 512), 512u);
+    EXPECT_EQ(align_up(512, 512), 512u);
+    EXPECT_EQ(align_up(513, 512), 1024u);
+    EXPECT_EQ(align_down(513, 512), 512u);
+    EXPECT_EQ(align_down(511, 512), 0u);
+}
+
+TEST(BitUtil, Log2)
+{
+    EXPECT_EQ(log2_floor(1), 0u);
+    EXPECT_EQ(log2_floor(2), 1u);
+    EXPECT_EQ(log2_floor(3), 1u);
+    EXPECT_EQ(log2_floor(1024), 10u);
+    EXPECT_EQ(log2_ceil(1), 0u);
+    EXPECT_EQ(log2_ceil(3), 2u);
+    EXPECT_EQ(log2_ceil(1024), 10u);
+    EXPECT_EQ(log2_ceil(1025), 11u);
+}
+
+TEST(BitUtil, BitsExtractInsert)
+{
+    const std::uint64_t v = 0xABCD'1234'5678'9ABCull;
+    EXPECT_EQ(bits(v, 0, 16), 0x9ABCu);
+    EXPECT_EQ(bits(v, 48, 16), 0xABCDu);
+    EXPECT_EQ(bits(v, 62, 2), 0x2u);
+    const std::uint64_t w = insert_bits(v, 48, 14, 0x1FFF);
+    EXPECT_EQ(bits(w, 48, 14), 0x1FFFu);
+    EXPECT_EQ(bits(w, 0, 48), bits(v, 0, 48));
+    EXPECT_EQ(bits(w, 62, 2), bits(v, 62, 2));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    bool any_diff = false;
+    for (int i = 0; i < 16; ++i)
+        any_diff |= a.next64() != b.next64();
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BelowIsInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(9);
+    std::set<std::int64_t> seen;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 7u); // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(11);
+    double sum = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Stats, AddGetRatio)
+{
+    StatSet s;
+    EXPECT_EQ(s.get("missing"), 0u);
+    s.add("hits", 3);
+    s.add("hits");
+    s.add("accesses", 8);
+    EXPECT_EQ(s.get("hits"), 4u);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "accesses"), 0.5);
+    EXPECT_DOUBLE_EQ(s.ratio("hits", "missing"), 0.0);
+}
+
+TEST(Stats, MergeAndDump)
+{
+    StatSet a, b;
+    a.add("x", 1);
+    b.add("x", 2);
+    b.add("y", 5);
+    a.merge(b);
+    EXPECT_EQ(a.get("x"), 3u);
+    EXPECT_EQ(a.get("y"), 5u);
+    std::ostringstream os;
+    a.dump(os, "pre.");
+    EXPECT_NE(os.str().find("pre.x 3"), std::string::npos);
+    EXPECT_NE(os.str().find("pre.y 5"), std::string::npos);
+}
+
+TEST(EventQueue, OrderedByCycleThenSeq)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(10, [&] { order.push_back(2); });
+    eq.schedule(5, [&] { order.push_back(1); });
+    eq.schedule(10, [&] { order.push_back(3); }); // same cycle: FIFO
+    eq.run_until(20);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 20u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, ScheduleFromCallback)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] {
+        ++fired;
+        eq.schedule_in(2, [&] { ++fired; });
+    });
+    eq.run_until(10);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, StepAdvancesOneCycle)
+{
+    EventQueue eq;
+    int fired = 0;
+    eq.schedule(1, [&] { ++fired; });
+    eq.schedule(2, [&] { ++fired; });
+    eq.step();
+    EXPECT_EQ(eq.now(), 1u);
+    EXPECT_EQ(fired, 1);
+    eq.step();
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, NextEventCycle)
+{
+    EventQueue eq;
+    EXPECT_EQ(eq.next_event_cycle(), kCycleMax);
+    eq.schedule(42, [] {});
+    EXPECT_EQ(eq.next_event_cycle(), 42u);
+}
+
+} // namespace
+} // namespace gpushield

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Differential fuzzing of the whole stack.
+ *
+ * A seeded generator builds random — but well-formed — kernels: random
+ * ALU dataflow, masked (provably in-bounds) gathers and scatters,
+ * guarded regions, and counted loops. Each kernel runs three ways
+ * (unprotected / GPUShield / GPUShield+static); all three must produce
+ * bit-identical memory and zero violations. A second mode plants
+ * exactly one out-of-bounds access at a random point and requires
+ * detection.
+ *
+ * Failure-injection tests corrupt GPUShield's own metadata (RBT
+ * entries, pointer tags) and verify the mechanism fails closed.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "driver/driver.h"
+#include "isa/builder.h"
+#include "shield/pointer.h"
+#include "sim/config.h"
+#include "sim/gpu.h"
+#include "workloads/runner.h"
+
+namespace gpushield {
+namespace {
+
+using workloads::RunOutcome;
+using workloads::WorkloadInstance;
+using workloads::run_workload;
+
+GpuConfig
+small_config()
+{
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 4;
+    return cfg;
+}
+
+/** Number of elements per fuzz buffer (power of two for masking). */
+constexpr std::uint64_t kElems = 1024;
+
+/**
+ * Generates a random kernel over `nbufs` buffers of kElems elements.
+ * All indices are masked to [0, kElems), so the kernel is in-bounds by
+ * construction. When @p plant_oob, one randomly placed access adds
+ * kElems to its index.
+ */
+KernelProgram
+fuzz_kernel(Rng &rng, unsigned nbufs, bool plant_oob)
+{
+    KernelBuilder b("fuzz");
+    std::vector<int> bufs;
+    for (unsigned i = 0; i < nbufs; ++i)
+        bufs.push_back(b.arg_ptr("buf" + std::to_string(i)));
+
+    const int gid = b.sreg(SpecialReg::GlobalId);
+
+    // Two pools keep the kernel race-free by construction:
+    //  - addr_pool never contains loaded data, so the *set* of slots a
+    //    run writes is schedule-independent;
+    //  - every store writes a pure function of its own index, so
+    //    cross-thread collisions on a slot all write the same value
+    //    (last-writer races cannot change the final memory image).
+    std::vector<int> addr_pool = {gid, b.mov_imm(1),
+                                  b.mov_imm(static_cast<std::int64_t>(
+                                      rng.below(1000)))};
+    std::vector<int> value_pool = addr_pool;
+
+    const unsigned steps = 6 + static_cast<unsigned>(rng.below(14));
+    const unsigned oob_at =
+        plant_oob ? static_cast<unsigned>(rng.below(steps)) : steps + 1;
+
+    auto random_addr_reg = [&] {
+        return addr_pool[rng.below(addr_pool.size())];
+    };
+    auto random_value_reg = [&] {
+        return value_pool[rng.below(value_pool.size())];
+    };
+    auto masked_index = [&](bool oob) {
+        const int masked =
+            b.alui(Op::And, random_addr_reg(),
+                   static_cast<std::int64_t>(kElems - 1));
+        return oob ? b.alui(Op::Add, masked,
+                            static_cast<std::int64_t>(kElems))
+                   : masked;
+    };
+    auto emit_store = [&](bool oob) {
+        const int base = b.ldarg(bufs[rng.below(bufs.size())]);
+        const int idx = masked_index(oob);
+        // Alternate between Method B (full vaddr via GEP) and Method C
+        // (base+offset) addressing; both write a pure function of the
+        // index so collisions stay race-free.
+        const int val = b.alui(Op::Add, idx, 17);
+        if (rng.chance(0.3))
+            b.st_bo(base, idx, 4, val);
+        else
+            b.st(b.gep(base, idx, 4), val, 4);
+    };
+
+    for (unsigned s = 0; s < steps; ++s) {
+        const bool oob = s == oob_at;
+        switch (rng.below(oob ? 2 : 6)) {
+          case 0: { // load (data sinks into the value pool only)
+            const int base = b.ldarg(bufs[rng.below(bufs.size())]);
+            const int addr = b.gep(base, masked_index(oob), 4);
+            const int v = b.ld(addr, 4);
+            value_pool.push_back(b.alui(Op::And, v, 0xFFFF));
+            break;
+          }
+          case 1: // store
+            emit_store(oob);
+            break;
+          case 2: { // ALU over either pool
+            static constexpr Op kOps[] = {Op::Add, Op::Sub, Op::Mul,
+                                          Op::Min, Op::Max, Op::And,
+                                          Op::Or,  Op::Xor};
+            const Op op = kOps[rng.below(std::size(kOps))];
+            if (rng.chance(0.5))
+                addr_pool.push_back(
+                    b.alu(op, random_addr_reg(), random_addr_reg()));
+            else
+                value_pool.push_back(
+                    b.alu(op, random_value_reg(), random_value_reg()));
+            break;
+          }
+          case 3: { // guarded region (guard over address pool: uniform
+                    // per thread, so the written-slot set stays fixed)
+            const int p = b.setpi(Cmp::Lt, random_addr_reg(),
+                                  static_cast<std::int64_t>(
+                                      rng.below(2000)));
+            b.if_then(p, rng.chance(0.5), [&] { emit_store(false); });
+            break;
+          }
+          case 4: { // counted loop
+            const unsigned trip = 1 + static_cast<unsigned>(rng.below(4));
+            b.loop_n(trip, [&](int i) {
+                addr_pool.push_back(
+                    b.alu(Op::Add, random_addr_reg(), i));
+            });
+            break;
+          }
+          case 5: // scalar move
+            addr_pool.push_back(b.mov_imm(
+                static_cast<std::int64_t>(rng.below(1 << 20))));
+            break;
+        }
+        // Occasionally wrap the next steps' view in an if/else region
+        // exercising both divergence sides.
+        if (!oob && rng.chance(0.15)) {
+            const int p = b.setpi(Cmp::Lt, random_addr_reg(),
+                                  static_cast<std::int64_t>(
+                                      rng.below(1500)));
+            b.if_then_else(
+                p, [&] { emit_store(false); },
+                [&] {
+                    addr_pool.push_back(
+                        b.alu(Op::Add, random_addr_reg(),
+                              random_addr_reg()));
+                });
+        }
+    }
+    // Deterministic final write so runs always touch memory.
+    const int base = b.ldarg(bufs[0]);
+    const int idx =
+        b.alui(Op::And, gid, static_cast<std::int64_t>(kElems - 1));
+    b.st(b.gep(base, idx, 4), b.alui(Op::Add, idx, 17), 4);
+    b.exit();
+    return b.finish();
+}
+
+WorkloadInstance
+fuzz_instance(Driver &driver, const KernelProgram &prog, unsigned nbufs,
+              unsigned seed)
+{
+    WorkloadInstance w;
+    w.program = prog;
+    w.ntid = 128;
+    w.nctaid = 4;
+    Rng data_rng(seed * 977 + 5);
+    for (unsigned i = 0; i < nbufs; ++i) {
+        w.buffers.push_back(driver.create_buffer(kElems * 4));
+        std::vector<std::int32_t> data(kElems);
+        for (auto &v : data)
+            v = static_cast<std::int32_t>(data_rng.below(1 << 16));
+        driver.upload(w.buffers.back(), data.data(), data.size() * 4);
+    }
+    return w;
+}
+
+std::vector<std::vector<std::uint8_t>>
+snapshot(Driver &driver, const WorkloadInstance &w)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    for (const BufferHandle h : w.buffers) {
+        std::vector<std::uint8_t> bytes(driver.region(h).size);
+        driver.download(h, bytes.data(), bytes.size());
+        out.push_back(std::move(bytes));
+    }
+    return out;
+}
+
+class FuzzSeed : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FuzzSeed, CleanKernelIsTransparentUnderShield)
+{
+    const unsigned seed = GetParam();
+    Rng rng(seed);
+    const unsigned nbufs = 1 + static_cast<unsigned>(rng.below(4));
+    const KernelProgram prog = fuzz_kernel(rng, nbufs, false);
+
+    std::vector<std::vector<std::uint8_t>> reference;
+    for (const int mode : {0, 1, 2}) {
+        GpuDevice dev(kPageSize2M);
+        Driver driver(dev);
+        const WorkloadInstance w =
+            fuzz_instance(driver, prog, nbufs, seed);
+        const RunOutcome run =
+            run_workload(small_config(), driver, w, mode > 0, mode == 2);
+        ASSERT_FALSE(run.result.aborted) << "seed " << seed;
+        EXPECT_TRUE(run.result.violations.empty())
+            << "seed " << seed << " mode " << mode;
+        const auto bufs = snapshot(driver, w);
+        if (mode == 0)
+            reference = bufs;
+        else
+            EXPECT_EQ(bufs, reference)
+                << "seed " << seed << " mode " << mode;
+    }
+}
+
+TEST_P(FuzzSeed, PlantedOobIsAlwaysDetected)
+{
+    const unsigned seed = GetParam();
+    Rng rng(seed ^ 0xF00D);
+    const unsigned nbufs = 1 + static_cast<unsigned>(rng.below(4));
+    const KernelProgram prog = fuzz_kernel(rng, nbufs, true);
+
+    GpuDevice dev(kPageSize2M);
+    Driver driver(dev);
+    const WorkloadInstance w = fuzz_instance(driver, prog, nbufs, seed);
+    const RunOutcome run =
+        run_workload(small_config(), driver, w, true, false);
+    EXPECT_FALSE(run.result.violations.empty()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Range(0u, 24u));
+
+// --- Failure injection: GPUShield's own metadata under attack -----------
+
+TEST(FailureInjection, CorruptedRbtEntryFailsClosed)
+{
+    GpuDevice dev(kPageSize2M);
+    Driver driver(dev);
+    KernelBuilder b("touch");
+    const int a = b.arg_ptr("a");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int base = b.ldarg(a);
+    b.st(b.gep(base, gid, 4), gid, 4);
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    LaunchConfig cfg;
+    cfg.program = &prog;
+    cfg.ntid = 32;
+    cfg.nctaid = 1;
+    cfg.buffers.push_back(driver.create_buffer(32 * 4));
+    LaunchState state = driver.launch(cfg);
+
+    // Zero the buffer's RBT entry behind the driver's back (e.g. a
+    // hypothetical DMA attack on metadata memory).
+    const BufferId id = state.id_map.at(BaseRef{BaseKind::Arg, 0});
+    Bounds dead;
+    dead.valid = false;
+    state.rbt->set(id, dead);
+
+    Gpu gpu(small_config(), driver);
+    const auto idx = gpu.launch(std::move(state));
+    gpu.run();
+    const KernelResult r = gpu.result(idx);
+    // Fails closed: invalid entry -> violation, stores squashed.
+    ASSERT_FALSE(r.violations.empty());
+    EXPECT_EQ(r.violations[0].kind, ViolationKind::InvalidEntry);
+    std::int32_t first = -1;
+    driver.download(cfg.buffers[0], &first, sizeof(first));
+    EXPECT_EQ(first, 0);
+}
+
+TEST(FailureInjection, RandomTagBitFlipsNeverEscape)
+{
+    // Flip random bits in the tag field of a live pointer: every flip
+    // must either still pass (same ciphertext) or be caught — never
+    // reach another buffer.
+    Rng rng(31337);
+    for (int trial = 0; trial < 12; ++trial) {
+        GpuDevice dev(kPageSize2M);
+        Driver driver(dev);
+        KernelBuilder b("flip");
+        const int a = b.arg_ptr("a");
+        const int flip_arg = b.arg_scalar("flip");
+        const int gid = b.sreg(SpecialReg::GlobalId);
+        const int base = b.ldarg(a);
+        const int flip = b.ldarg(flip_arg);
+        const int forged = b.alu(Op::Xor, base, flip);
+        b.st(b.gep(forged, gid, 4), gid, 4);
+        b.exit();
+        const KernelProgram prog = b.finish();
+
+        const BufferHandle buf = driver.create_buffer(32 * 4);
+        const BufferHandle victim = driver.create_buffer(4096);
+        const std::int32_t sentinel = 0x11C0DE;
+        driver.upload(victim, &sentinel, sizeof(sentinel));
+
+        LaunchConfig cfg;
+        cfg.program = &prog;
+        cfg.ntid = 32;
+        cfg.nctaid = 1;
+        cfg.buffers = {buf, victim};
+        // Random flips within the 14-bit tag field.
+        cfg.scalars = {0, static_cast<std::int64_t>(
+                              rng.below(kNumBufferIds) << kVAddrBits)};
+
+        Gpu gpu(small_config(), driver);
+        const auto idx = gpu.launch(driver.launch(cfg));
+        gpu.run();
+        const KernelResult r = gpu.result(idx);
+
+        std::int32_t check = 0;
+        driver.download(victim, &check, sizeof(check));
+        EXPECT_EQ(check, sentinel) << "trial " << trial;
+        if (cfg.scalars[1] != 0) {
+            EXPECT_FALSE(r.violations.empty()) << "trial " << trial;
+        }
+    }
+}
+
+} // namespace
+} // namespace gpushield

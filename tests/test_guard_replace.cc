@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the §6.4 guard-replacement pass: eligibility rules,
+ * transformation shape, and end-to-end semantic equivalence (the
+ * removed software guard and the BCU's silent lane squash must produce
+ * bit-identical memory).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "compiler/guard_replace.h"
+#include "driver/driver.h"
+#include "isa/builder.h"
+#include "sim/config.h"
+#include "sim/gpu.h"
+
+namespace gpushield {
+namespace {
+
+GpuConfig
+small_config()
+{
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 4;
+    return cfg;
+}
+
+/** Guarded copy: if (gid < n) out[gid] = in[gid] + 1. */
+KernelProgram
+guarded_copy()
+{
+    KernelBuilder b("guarded_copy");
+    const int in = b.arg_ptr("in");
+    const int out = b.arg_ptr("out");
+    const int n_arg = b.arg_scalar("n");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int n = b.ldarg(n_arg);
+    const int ok = b.setp(Cmp::Lt, gid, n);
+    b.if_then(ok, false, [&] {
+        const int ib = b.ldarg(in);
+        const int v = b.ld(b.gep(ib, gid, 4), 4);
+        const int w = b.alui(Op::Add, v, 1);
+        const int ob = b.ldarg(out);
+        b.st(b.gep(ob, gid, 4), w, 4);
+    });
+    b.exit();
+    return b.finish();
+}
+
+StaticLaunchInfo
+info_for(const KernelProgram &prog, std::uint32_t nthreads,
+         std::uint64_t buf_bytes, std::optional<std::int64_t> n)
+{
+    StaticLaunchInfo info;
+    info.ntid = 256;
+    info.nctaid = nthreads / 256;
+    info.arg_buffer_sizes.assign(prog.args.size(), 0);
+    info.arg_buffer_pow2.assign(prog.args.size(), false);
+    info.scalar_values.assign(prog.args.size(), std::nullopt);
+    for (std::size_t a = 0; a < prog.args.size(); ++a) {
+        if (prog.args[a].is_pointer)
+            info.arg_buffer_sizes[a] = buf_bytes;
+        else
+            info.scalar_values[a] = n;
+    }
+    return info;
+}
+
+TEST(GuardReplace, RemovesCanonicalGuard)
+{
+    const KernelProgram prog = guarded_copy();
+    // Buffers hold exactly n = 1000 elements; grid is 1024 threads.
+    const auto info = info_for(prog, 1024, 1000 * 4, 1000);
+    const GuardReplaceResult r = replace_sw_guards(prog, info);
+    EXPECT_EQ(r.guards_removed, 1u);
+
+    unsigned replaced = 0, branches = 0;
+    for (const Instr &in : r.program.code) {
+        branches += in.op == Op::Bra || in.op == Op::Ssy;
+        if (is_global_mem(in.op)) {
+            EXPECT_EQ(in.check, CheckMode::GuardReplaced);
+        }
+        replaced += is_global_mem(in.op) &&
+                    in.check == CheckMode::GuardReplaced;
+    }
+    EXPECT_EQ(branches, 0u);   // guard gone
+    EXPECT_EQ(replaced, 2u);   // the ld and the st
+    // The guard instructions were deleted outright.
+    EXPECT_LT(r.program.code.size(), prog.code.size());
+    r.program.validate(); // targets remapped consistently
+}
+
+TEST(GuardReplace, KeepsGuardWhenBoundIsRuntime)
+{
+    const KernelProgram prog = guarded_copy();
+    const auto info = info_for(prog, 1024, 1000 * 4, std::nullopt);
+    const GuardReplaceResult r = replace_sw_guards(prog, info);
+    EXPECT_EQ(r.guards_removed, 0u);
+}
+
+TEST(GuardReplace, KeepsGuardWhenItMasksInBoundsWork)
+{
+    // Buffer holds 2000 elements but the guard stops at 1000: removing
+    // it would let threads 1000-1023 write *in bounds* — a semantic
+    // change the pass must refuse.
+    const KernelProgram prog = guarded_copy();
+    const auto info = info_for(prog, 1024, 2000 * 4, 1000);
+    const GuardReplaceResult r = replace_sw_guards(prog, info);
+    EXPECT_EQ(r.guards_removed, 0u);
+}
+
+TEST(GuardReplace, KeepsGuardWhenRegionValueEscapes)
+{
+    // The loaded value is used after the region: squashed lanes'
+    // zero-loads would leak out.
+    KernelBuilder b("escaping");
+    const int in = b.arg_ptr("in");
+    const int out = b.arg_ptr("out");
+    const int n_arg = b.arg_scalar("n");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int n = b.ldarg(n_arg);
+    const int ok = b.setp(Cmp::Lt, gid, n);
+    const int escape = b.mov_imm(0);
+    b.if_then(ok, false, [&] {
+        const int ib = b.ldarg(in);
+        const int v = b.ld(b.gep(ib, gid, 4), 4);
+        b.mov(escape, v);
+    });
+    // Post-region use of the region-defined value.
+    const int ob = b.ldarg(out);
+    const int masked = b.alui(Op::And, gid, 1023);
+    b.st(b.gep(ob, masked, 4), escape, 4);
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    const auto info = info_for(prog, 1024, 1000 * 4, 1000);
+    const GuardReplaceResult r = replace_sw_guards(prog, info);
+    EXPECT_EQ(r.guards_removed, 0u);
+}
+
+TEST(GuardReplace, KeepsGuardWithNestedControlFlow)
+{
+    KernelBuilder b("nested");
+    const int in = b.arg_ptr("in");
+    const int n_arg = b.arg_scalar("n");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int n = b.ldarg(n_arg);
+    const int ok = b.setp(Cmp::Lt, gid, n);
+    b.if_then(ok, false, [&] {
+        b.loop_n(2, [&](int i) {
+            const int ib = b.ldarg(in);
+            b.st(b.gep(ib, gid, 4), i, 4);
+        });
+    });
+    b.exit();
+    const KernelProgram prog = b.finish();
+    const auto info = info_for(prog, 1024, 1000 * 4, 1000);
+    EXPECT_EQ(replace_sw_guards(prog, info).guards_removed, 0u);
+}
+
+TEST(GuardReplace, EndToEndEquivalence)
+{
+    const KernelProgram prog = guarded_copy();
+    const std::uint64_t n = 1000;
+    const std::uint32_t nthreads = 1024;
+
+    auto run = [&](bool replace) {
+        GpuDevice dev(kPageSize2M);
+        Driver driver(dev);
+        const BufferHandle in = driver.create_buffer(n * 4);
+        const BufferHandle out = driver.create_buffer(n * 4);
+        std::vector<std::int32_t> data(n);
+        for (std::uint64_t i = 0; i < n; ++i)
+            data[i] = static_cast<std::int32_t>(5 * i + 3);
+        driver.upload(in, data.data(), n * 4);
+
+        LaunchConfig cfg;
+        cfg.program = &prog;
+        cfg.ntid = 256;
+        cfg.nctaid = nthreads / 256;
+        cfg.buffers = {in, out};
+        cfg.scalars = {0, 0, static_cast<std::int64_t>(n)};
+        cfg.scalar_static = {false, false, true};
+        cfg.replace_sw_checks = replace;
+
+        LaunchState state = driver.launch(cfg);
+        const unsigned removed = state.guards_removed;
+        Gpu gpu(small_config(), driver);
+        const auto idx = gpu.launch(std::move(state));
+        gpu.run();
+        const KernelResult r = gpu.result(idx);
+
+        std::vector<std::int32_t> got(n);
+        driver.download(out, got.data(), n * 4);
+        return std::tuple{got, r, removed,
+                          gpu.bcu_stats().get("guard_suppressed")};
+    };
+
+    const auto [guarded_out, guarded_res, removed0, sup0] = run(false);
+    EXPECT_EQ(removed0, 0u);
+    EXPECT_EQ(sup0, 0u);
+    EXPECT_TRUE(guarded_res.violations.empty());
+
+    const auto [replaced_out, replaced_res, removed1, sup1] = run(true);
+    EXPECT_EQ(removed1, 1u);
+    EXPECT_TRUE(replaced_res.violations.empty())
+        << "guard squashes must be silent";
+    EXPECT_GT(sup1, 0u); // the tail warp's squash happened
+    EXPECT_EQ(replaced_out, guarded_out);
+
+    // Fewer issued instructions without the guard.
+    EXPECT_LT(replaced_res.stats.get("instructions"),
+              guarded_res.stats.get("instructions"));
+}
+
+} // namespace
+} // namespace gpushield

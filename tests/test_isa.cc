@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Unit tests for the kernel IR and builder: structural validation,
+ * label fixups, structured control flow emission, and disassembly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "isa/builder.h"
+#include "isa/ir.h"
+
+namespace gpushield {
+namespace {
+
+TEST(Builder, SimpleStreamingKernelValidates)
+{
+    KernelBuilder b("vecadd");
+    const int a = b.arg_ptr("a");
+    const int bb = b.arg_ptr("b");
+    const int c = b.arg_ptr("c");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int pa = b.ldarg(a);
+    const int va = b.ld(b.gep(pa, gid, 4));
+    const int pb = b.ldarg(bb);
+    const int vb = b.ld(b.gep(pb, gid, 4));
+    const int sum = b.alu(Op::Add, va, vb);
+    const int pc = b.ldarg(c);
+    b.st(b.gep(pc, gid, 4), sum);
+    b.exit();
+
+    const KernelProgram prog = b.finish();
+    EXPECT_EQ(prog.args.size(), 3u);
+    EXPECT_GT(prog.num_regs, 0);
+    EXPECT_EQ(prog.code.back().op, Op::Exit);
+}
+
+TEST(Builder, AppendsExitWhenMissing)
+{
+    KernelBuilder b("noexit");
+    b.mov_imm(1);
+    const KernelProgram prog = b.finish();
+    EXPECT_EQ(prog.code.back().op, Op::Exit);
+}
+
+TEST(Builder, LabelFixupsResolve)
+{
+    KernelBuilder b("branches");
+    const int x = b.mov_imm(0);
+    const int p = b.setpi(Cmp::Lt, x, 10);
+    Label skip = b.new_label();
+    b.ssy(skip);
+    b.bra(skip, p, true);
+    b.mov_imm(7);
+    b.bind(skip);
+    b.nop();
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    bool found_bra = false;
+    for (const Instr &in : prog.code) {
+        if (in.op == Op::Bra) {
+            found_bra = true;
+            EXPECT_GE(in.target, 0);
+            EXPECT_LT(static_cast<std::size_t>(in.target),
+                      prog.code.size());
+        }
+    }
+    EXPECT_TRUE(found_bra);
+}
+
+TEST(Builder, IfThenEmitsSsyBeforeBranch)
+{
+    KernelBuilder b("guard");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int p = b.setpi(Cmp::Lt, gid, 100);
+    b.if_then(p, false, [&] { b.mov_imm(1); });
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    // Find the Ssy and the predicated Bra right after it.
+    int ssy_at = -1;
+    for (std::size_t i = 0; i < prog.code.size(); ++i)
+        if (prog.code[i].op == Op::Ssy)
+            ssy_at = static_cast<int>(i);
+    ASSERT_GE(ssy_at, 0);
+    const Instr &bra = prog.code[ssy_at + 1];
+    EXPECT_EQ(bra.op, Op::Bra);
+    EXPECT_EQ(bra.pred, p);
+    EXPECT_TRUE(bra.neg_pred);
+    // Both jump to the same reconvergence point.
+    EXPECT_EQ(prog.code[ssy_at].target, bra.target);
+}
+
+TEST(Builder, LoopCountShape)
+{
+    KernelBuilder b("loop");
+    const int n = b.mov_imm(4);
+    int body_count = 0;
+    b.loop_count(n, [&](int i) {
+        EXPECT_GE(i, 0);
+        b.alui(Op::Add, i, 1);
+        ++body_count;
+    });
+    b.exit();
+    EXPECT_EQ(body_count, 1); // body emitted exactly once
+    const KernelProgram prog = b.finish();
+
+    // Loop contains a backward predicated branch.
+    bool backward = false;
+    for (std::size_t i = 0; i < prog.code.size(); ++i) {
+        const Instr &in = prog.code[i];
+        if (in.op == Op::Bra && in.pred != kNoReg &&
+            in.target <= static_cast<int>(i))
+            backward = true;
+    }
+    EXPECT_TRUE(backward);
+}
+
+TEST(Builder, BaseOffsetMemoryOps)
+{
+    KernelBuilder b("bo");
+    const int a = b.arg_ptr("a");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int pa = b.ldarg(a);
+    const int v = b.ld_bo(pa, gid, 4);
+    b.st_bo(pa, gid, 4, v);
+    b.exit();
+    const KernelProgram prog = b.finish();
+
+    int ld_count = 0, st_count = 0;
+    for (const Instr &in : prog.code) {
+        if (in.op == Op::Ld) {
+            EXPECT_TRUE(in.base_offset);
+            ++ld_count;
+        }
+        if (in.op == Op::St) {
+            EXPECT_TRUE(in.base_offset);
+            EXPECT_NE(in.rc, kNoReg); // store source in rc
+            ++st_count;
+        }
+    }
+    EXPECT_EQ(ld_count, 1);
+    EXPECT_EQ(st_count, 1);
+}
+
+TEST(Builder, LocalVarDeclared)
+{
+    KernelBuilder b("locals");
+    const int s = b.local("scratch", 4, 8);
+    const int base = b.ldloc(s);
+    (void)base;
+    b.exit();
+    const KernelProgram prog = b.finish();
+    ASSERT_EQ(prog.locals.size(), 1u);
+    EXPECT_EQ(prog.locals[0].elems, 8u);
+    EXPECT_EQ(prog.locals[0].elem_size, 4u);
+}
+
+TEST(Disassembler, MentionsKeyPieces)
+{
+    KernelBuilder b("disasm");
+    const int a = b.arg_ptr("a");
+    const int gid = b.sreg(SpecialReg::GlobalId);
+    const int pa = b.ldarg(a);
+    b.st(b.gep(pa, gid, 4), gid);
+    b.exit();
+    const KernelProgram prog = b.finish();
+    const std::string text = prog.disassemble();
+    EXPECT_NE(text.find(".kernel disasm"), std::string::npos);
+    EXPECT_NE(text.find("gep"), std::string::npos);
+    EXPECT_NE(text.find("st"), std::string::npos);
+    EXPECT_NE(text.find("exit"), std::string::npos);
+}
+
+TEST(Validate, OpNamesCovered)
+{
+    EXPECT_STREQ(op_name(Op::Gep), "gep");
+    EXPECT_STREQ(op_name(Op::Malloc), "malloc");
+    EXPECT_STREQ(cmp_name(Cmp::Lt), "lt");
+    EXPECT_STREQ(sreg_name(SpecialReg::GlobalId), "gid");
+}
+
+TEST(Validate, DeathOnBadTarget)
+{
+    KernelProgram prog;
+    prog.name = "bad";
+    Instr bra;
+    bra.op = Op::Bra;
+    bra.target = 99;
+    prog.code.push_back(bra);
+    Instr ex;
+    ex.op = Op::Exit;
+    prog.code.push_back(ex);
+    EXPECT_EXIT(prog.validate(), ::testing::ExitedWithCode(1), "target");
+}
+
+TEST(Validate, DeathOnMissingExit)
+{
+    KernelProgram prog;
+    prog.name = "noexit";
+    Instr nop;
+    prog.code.push_back(nop);
+    EXPECT_EXIT(prog.validate(), ::testing::ExitedWithCode(1), "exit");
+}
+
+} // namespace
+} // namespace gpushield

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Differential validation of the cycle-level simulator against the
+ * functional oracle: for race-free kernels, any warp schedule must
+ * produce the oracle's memory image. Sweeps corpus benchmarks and fuzz
+ * shapes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "driver/driver.h"
+#include "sim/config.h"
+#include "sim/oracle.h"
+#include "workloads/runner.h"
+#include "workloads/suites.h"
+
+namespace gpushield {
+namespace {
+
+using namespace workloads;
+
+GpuConfig
+small_config()
+{
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 4;
+    return cfg;
+}
+
+std::vector<std::vector<std::uint8_t>>
+snapshot(Driver &driver, const WorkloadInstance &w)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    for (const BufferHandle h : w.buffers) {
+        std::vector<std::uint8_t> bytes(driver.region(h).size);
+        driver.download(h, bytes.data(), bytes.size());
+        out.push_back(std::move(bytes));
+    }
+    return out;
+}
+
+class OracleVsTiming : public ::testing::TestWithParam<const char *>
+{
+};
+
+TEST_P(OracleVsTiming, MemoryImagesMatch)
+{
+    const BenchmarkDef *def = find_benchmark(GetParam());
+    ASSERT_NE(def, nullptr);
+
+    // Oracle run.
+    GpuDevice dev_o(kPageSize2M);
+    Driver drv_o(dev_o);
+    const WorkloadInstance w_o = def->make(drv_o);
+    LaunchState state_o = drv_o.launch(w_o.make_config(false, false));
+    const OracleResult oracle = run_functional(state_o, drv_o);
+    ASSERT_FALSE(oracle.deadlocked);
+    EXPECT_GT(oracle.instructions, 0u);
+    EXPECT_GT(oracle.mem_ops, 0u);
+    const auto oracle_bufs = snapshot(drv_o, w_o);
+
+    // Timing run (shield on: must still match for benign kernels).
+    GpuDevice dev_t(kPageSize2M);
+    Driver drv_t(dev_t);
+    const WorkloadInstance w_t = def->make(drv_t);
+    run_workload(small_config(), drv_t, w_t, true, false);
+    const auto timing_bufs = snapshot(drv_t, w_t);
+
+    ASSERT_EQ(oracle_bufs.size(), timing_bufs.size());
+    for (std::size_t i = 0; i < oracle_bufs.size(); ++i)
+        EXPECT_EQ(oracle_bufs[i], timing_bufs[i])
+            << def->name << " buffer " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, OracleVsTiming,
+                         ::testing::Values("vectoradd", "backprop",
+                                           "stencil", "spmv", "kmeans",
+                                           "lavaMD", "mm", "Reduction",
+                                           "streamcluster", "pagerank",
+                                           "hotspot", "particlefilter"));
+
+TEST(Oracle, CountsMatchTimingSimulator)
+{
+    const BenchmarkDef *def = find_benchmark("vectoradd");
+    ASSERT_NE(def, nullptr);
+
+    GpuDevice dev_o(kPageSize2M);
+    Driver drv_o(dev_o);
+    const WorkloadInstance w_o = def->make(drv_o);
+    LaunchState state_o = drv_o.launch(w_o.make_config(false, false));
+    const OracleResult oracle = run_functional(state_o, drv_o);
+
+    GpuDevice dev_t(kPageSize2M);
+    Driver drv_t(dev_t);
+    const WorkloadInstance w_t = def->make(drv_t);
+    const RunOutcome timing =
+        run_workload(small_config(), drv_t, w_t, false, false);
+
+    EXPECT_EQ(oracle.instructions,
+              timing.result.stats.get("instructions"));
+    EXPECT_EQ(oracle.mem_ops, timing.result.stats.get("loads") +
+                                  timing.result.stats.get("stores"));
+}
+
+TEST(Oracle, BudgetExhaustionReportsDeadlock)
+{
+    const BenchmarkDef *def = find_benchmark("mm");
+    ASSERT_NE(def, nullptr);
+    GpuDevice dev(kPageSize2M);
+    Driver drv(dev);
+    const WorkloadInstance w = def->make(drv);
+    LaunchState state = drv.launch(w.make_config(false, false));
+    const OracleResult r = run_functional(state, drv, /*budget=*/100);
+    EXPECT_TRUE(r.deadlocked);
+}
+
+} // namespace
+} // namespace gpushield

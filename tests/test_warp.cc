@@ -1,0 +1,195 @@
+/**
+ * @file
+ * Unit tests for the SIMT reconvergence machinery in isolation:
+ * mask bookkeeping, forward/backward divergent branches, pending-side
+ * execution order, nesting, and partial-warp masks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/warp.h"
+
+namespace gpushield {
+namespace {
+
+WarpState
+make_warp(std::uint32_t ntid = 32)
+{
+    return WarpState(/*warp_id=*/0, /*wg_index=*/0, /*warp_in_wg=*/0,
+                     ntid, /*num_regs=*/8, /*num_preds=*/4);
+}
+
+TEST(WarpState, ValidLanesForPartialWarp)
+{
+    EXPECT_EQ(make_warp(32).valid_lanes(), kFullMask);
+    EXPECT_EQ(make_warp(8).valid_lanes(), 0xFFu);
+    EXPECT_EQ(make_warp(1).valid_lanes(), 0x1u);
+    // Second warp of a 40-thread workgroup holds 8 lanes.
+    WarpState second(1, 0, 1, 40, 8, 4);
+    EXPECT_EQ(second.valid_lanes(), 0xFFu);
+    // Third warp of a 40-thread workgroup would be empty.
+    WarpState third(2, 0, 2, 40, 8, 4);
+    EXPECT_EQ(third.valid_lanes(), 0u);
+}
+
+TEST(WarpState, RegisterAndPredicateAccess)
+{
+    WarpState w = make_warp();
+    w.set_reg(3, 2, -42);
+    EXPECT_EQ(w.reg(3, 2), -42);
+    EXPECT_EQ(w.reg(4, 2), 0);
+
+    w.set_pred(5, 1, true);
+    EXPECT_TRUE(w.pred(5, 1));
+    EXPECT_FALSE(w.pred(6, 1));
+    EXPECT_EQ(w.pred_mask(1), 1u << 5);
+    w.set_pred(5, 1, false);
+    EXPECT_EQ(w.pred_mask(1), 0u);
+}
+
+TEST(WarpState, UniformBranches)
+{
+    WarpState w = make_warp();
+    w.pc = 10;
+    w.branch(/*target=*/20, /*taken=*/w.active, /*next_pc=*/11);
+    EXPECT_EQ(w.pc, 20);
+    EXPECT_EQ(w.active, kFullMask);
+
+    w.branch(30, /*taken=*/0, /*next_pc=*/21);
+    EXPECT_EQ(w.pc, 21);
+}
+
+TEST(WarpState, ForwardDivergenceRunsBothSides)
+{
+    WarpState w = make_warp();
+    // SSY region reconverging at pc 50.
+    SimtEntry entry;
+    entry.reconv_pc = 50;
+    entry.restore_mask = w.active;
+    w.simt_stack.push_back(entry);
+
+    w.pc = 10;
+    const LaneMask taken = 0x0000FFFF; // half the warp jumps to 30
+    w.branch(30, taken, 11);
+    // Fall-through side first with the not-taken lanes.
+    EXPECT_EQ(w.pc, 11);
+    EXPECT_EQ(w.active, ~taken);
+
+    // Fall-through reaches the reconvergence point -> switch to the
+    // pending taken side.
+    w.pc = 50;
+    w.reconverge();
+    EXPECT_EQ(w.pc, 30);
+    EXPECT_EQ(w.active, taken);
+
+    // Taken side reaches reconvergence -> restore the full mask, pop.
+    w.pc = 50;
+    w.reconverge();
+    EXPECT_EQ(w.pc, 50);
+    EXPECT_EQ(w.active, kFullMask);
+    EXPECT_TRUE(w.simt_stack.empty());
+}
+
+TEST(WarpState, BackwardDivergenceShrinksMask)
+{
+    WarpState w = make_warp();
+    SimtEntry entry;
+    entry.reconv_pc = 40; // loop exit
+    entry.restore_mask = w.active;
+    w.simt_stack.push_back(entry);
+
+    // Loop back edge at pc 30 -> head 20; half the lanes continue.
+    w.pc = 30;
+    const LaneMask continuing = 0xFF00FF00;
+    w.branch(20, continuing, 31);
+    EXPECT_EQ(w.pc, 20);
+    EXPECT_EQ(w.active, continuing);
+
+    // Next iteration: nobody continues -> fall through to the exit.
+    w.pc = 30;
+    w.branch(20, 0, 31);
+    EXPECT_EQ(w.pc, 31);
+
+    // At the reconvergence point the full mask returns.
+    w.pc = 40;
+    w.reconverge();
+    EXPECT_EQ(w.active, kFullMask);
+    EXPECT_TRUE(w.simt_stack.empty());
+}
+
+TEST(WarpState, NestedRegionsUnwindInOrder)
+{
+    WarpState w = make_warp();
+    SimtEntry outer;
+    outer.reconv_pc = 100;
+    outer.restore_mask = kFullMask;
+    w.simt_stack.push_back(outer);
+
+    // Outer divergence: lanes 0-15 fall through, 16-31 pend to 60.
+    w.pc = 10;
+    w.branch(60, 0xFFFF0000, 11);
+    EXPECT_EQ(w.active, 0x0000FFFFu);
+
+    // Inner SSY region within the fall-through side.
+    SimtEntry inner;
+    inner.reconv_pc = 40;
+    inner.restore_mask = w.active;
+    w.simt_stack.push_back(inner);
+    w.pc = 20;
+    w.branch(35, 0x000000FF, 21); // 8 lanes pend to 35
+    EXPECT_EQ(w.active, 0x0000FF00u);
+
+    // Inner reconvergence: pending side then restore.
+    w.pc = 40;
+    w.reconverge();
+    EXPECT_EQ(w.pc, 35);
+    EXPECT_EQ(w.active, 0x000000FFu);
+    w.pc = 40;
+    w.reconverge();
+    EXPECT_EQ(w.active, 0x0000FFFFu);
+    EXPECT_EQ(w.simt_stack.size(), 1u);
+
+    // Outer reconvergence: taken side then full restore.
+    w.pc = 100;
+    w.reconverge();
+    EXPECT_EQ(w.pc, 60);
+    EXPECT_EQ(w.active, 0xFFFF0000u);
+    w.pc = 100;
+    w.reconverge();
+    EXPECT_EQ(w.active, kFullMask);
+    EXPECT_TRUE(w.simt_stack.empty());
+}
+
+TEST(WarpState, EmptyPendingSideFallsThrough)
+{
+    // Branch whose taken target IS the reconvergence point: switching
+    // to the pending side immediately re-reconverges.
+    WarpState w = make_warp();
+    SimtEntry entry;
+    entry.reconv_pc = 50;
+    entry.restore_mask = w.active;
+    w.simt_stack.push_back(entry);
+
+    w.pc = 10;
+    w.branch(/*target=*/50, 0x0F0F0F0F, 11); // if-without-else shape
+    EXPECT_EQ(w.pc, 11);
+    EXPECT_EQ(w.active, ~0x0F0F0F0Fu);
+
+    w.pc = 50;
+    w.reconverge();
+    // Pending side was empty: mask restored in one reconverge call.
+    EXPECT_EQ(w.pc, 50);
+    EXPECT_EQ(w.active, kFullMask);
+    EXPECT_TRUE(w.simt_stack.empty());
+}
+
+TEST(WarpState, StatusLifecycle)
+{
+    WarpState w = make_warp();
+    EXPECT_EQ(w.status, WarpStatus::Ready);
+    w.status = WarpStatus::Blocked;
+    EXPECT_EQ(w.status, WarpStatus::Blocked);
+}
+
+} // namespace
+} // namespace gpushield
