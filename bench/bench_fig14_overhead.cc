@@ -4,6 +4,10 @@
  * category on the Nvidia-like configuration, for two RCache latency
  * settings (L1:1/L2:3 default, L1:2/L2:5 slower).
  *
+ * Runs the fig14 sweep suite through the parallel harness (baseline and
+ * shielded runs are independent cells) and joins baseline/shield pairs
+ * for the table.
+ *
  * Paper result: no category degrades measurably with the default
  * latencies (all bars ~1.00, slight upticks in DM), and the slower
  * RCache stays within a few percent.
@@ -11,19 +15,29 @@
 
 #include <cstdio>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "harness/executor.h"
 
 using namespace gpushield;
 using namespace gpushield::bench;
+using namespace gpushield::harness;
 using namespace gpushield::workloads;
 
 int
 main()
 {
-    const GpuConfig fast = with_rcache_latency(nvidia_config(), 1, 3);
-    const GpuConfig slow = with_rcache_latency(nvidia_config(), 2, 5);
+    const SweepSpec spec = fig14_suite();
+    SweepOptions opts;
+    opts.jobs = default_jobs();
+    const SweepResult result = run_sweep(spec, opts);
+
+    // (workload, config) -> shielded/baseline cycles.
+    std::map<std::pair<std::string, std::string>, double> ratio;
+    for (const OverheadPair &p : pair_overheads(result.metrics.records()))
+        ratio[{p.baseline->workload, p.baseline->config}] = p.ratio();
 
     std::map<std::string, std::vector<double>> per_cat_fast, per_cat_slow;
     std::vector<double> all_fast, all_slow;
@@ -35,8 +49,8 @@ main()
     std::printf("%-16s %-4s %12s %12s\n", "benchmark", "cat", "L1:1,L2:3",
                 "L1:2,L2:5");
     for (const BenchmarkDef &def : cuda_benchmarks()) {
-        const double nf = normalized_exec_time(fast, def, false);
-        const double ns = normalized_exec_time(slow, def, false);
+        const double nf = ratio.at({def.name, "l1_1_l2_3"});
+        const double ns = ratio.at({def.name, "l1_2_l2_5"});
         per_cat_fast[def.category].push_back(nf);
         per_cat_slow[def.category].push_back(ns);
         all_fast.push_back(nf);
@@ -54,5 +68,8 @@ main()
     }
     std::printf("%-6s %12.4f %12.4f\n", "geomean", geomean(all_fast),
                 geomean(all_slow));
-    return 0;
+    std::printf("[sweep: %zu cells in %.1fs, jobs=%u]\n",
+                result.metrics.records().size(), result.wall_seconds,
+                result.jobs);
+    return result.all_ok() ? 0 : 1;
 }

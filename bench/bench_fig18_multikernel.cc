@@ -5,90 +5,61 @@
  * streamcluster} in inter-core mode (disjoint core halves) and
  * intra-core mode (both kernels share every core), reporting the
  * makespan of the shielded pair normalized to the same pair with no
- * bounds checking.
+ * bounds checking. Each {pair × mode × shield} combination is one
+ * independent sweep cell, fanned out by the harness.
  *
  * Paper result: average overhead under 0.3% for both modes; the worst
  * memory-intensive pairs reach ~6%.
  */
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "bench_util.h"
+#include "harness/executor.h"
 
 using namespace gpushield;
 using namespace gpushield::bench;
-using namespace gpushield::workloads;
-
-namespace {
-
-/** Runs @p a and @p b concurrently; returns the makespan. */
-Cycle
-run_pair(const GpuConfig &cfg, const BenchmarkDef &a, const BenchmarkDef &b,
-         bool shield, bool intra_core)
-{
-    GpuDevice dev(cfg.mem.page_size);
-    Driver drv(dev);
-    const WorkloadInstance wa = a.make(drv);
-    const WorkloadInstance wb = b.make(drv);
-
-    const std::uint64_t all = (std::uint64_t{1} << cfg.num_cores) - 1;
-    const std::uint64_t lower = (std::uint64_t{1} << (cfg.num_cores / 2)) - 1;
-    const std::uint64_t upper = all & ~lower;
-
-    Gpu gpu(cfg, drv);
-    gpu.launch(drv.launch(wa.make_config(shield, false)),
-               intra_core ? all : lower);
-    gpu.launch(drv.launch(wb.make_config(shield, false)),
-               intra_core ? all : upper);
-    gpu.run();
-    return gpu.now();
-}
-
-} // namespace
+using namespace gpushield::harness;
 
 int
 main()
 {
-    const GpuConfig cfg = intel_config();
-    const char *names[] = {"bfs",        "cfd",  "hotspot3D", "hybridsort",
-                           "kmeans",     "nn",   "streamcluster"};
+    const SweepSpec spec = fig18_suite();
+    SweepOptions opts;
+    opts.jobs = default_jobs();
+    const SweepResult result = run_sweep(spec, opts);
 
-    std::vector<const BenchmarkDef *> defs;
-    for (const char *n : names) {
-        for (const BenchmarkDef &d : opencl_benchmarks())
-            if (d.name == n)
-                defs.push_back(&d);
+    // (pair, placement) -> shielded/baseline makespan.
+    std::map<std::pair<std::string, std::string>, double> ratio;
+    for (const OverheadPair &p : pair_overheads(result.metrics.records())) {
+        const std::string pair =
+            p.baseline->workload + "_" + p.baseline->workload_b;
+        ratio[{pair, p.baseline->placement}] = p.ratio();
     }
 
     std::printf("=== Figure 18: multi-kernel execution, Intel ===\n");
     std::printf("%-28s %12s %12s\n", "pair", "inter-core", "intra-core");
     std::vector<double> inter_all, intra_all;
     CsvSink csv("fig18", {"pair", "inter_core", "intra_core"});
-    for (std::size_t i = 0; i < defs.size(); ++i) {
-        for (std::size_t j = i + 1; j < defs.size(); ++j) {
-            const double inter =
-                static_cast<double>(
-                    run_pair(cfg, *defs[i], *defs[j], true, false)) /
-                static_cast<double>(
-                    run_pair(cfg, *defs[i], *defs[j], false, false));
-            const double intra =
-                static_cast<double>(
-                    run_pair(cfg, *defs[i], *defs[j], true, true)) /
-                static_cast<double>(
-                    run_pair(cfg, *defs[i], *defs[j], false, true));
-            inter_all.push_back(inter);
-            intra_all.push_back(intra);
-            const std::string pair =
-                defs[i]->name + "_" + defs[j]->name;
-            std::printf("%-28s %12.4f %12.4f\n", pair.c_str(), inter,
-                        intra);
-            csv.row({pair, fmt(inter), fmt(intra)});
-        }
+    for (const CellSpec &cell : spec.cells) {
+        if (cell.shield || cell.placement != Placement::kSplit)
+            continue; // one table row per pair
+        const std::string pair = cell.workload + "_" + cell.workload_b;
+        const double inter = ratio.at({pair, "split"});
+        const double intra = ratio.at({pair, "shared"});
+        inter_all.push_back(inter);
+        intra_all.push_back(intra);
+        std::printf("%-28s %12.4f %12.4f\n", pair.c_str(), inter, intra);
+        csv.row({pair, fmt(inter), fmt(intra)});
     }
     std::printf("%-28s %12.4f %12.4f\n", "geomean", geomean(inter_all),
                 geomean(intra_all));
     std::printf("(paper: average < 0.3%% overhead; worst ~6%%)\n");
-    return 0;
+    std::printf("[sweep: %zu cells in %.1fs, jobs=%u]\n",
+                result.metrics.records().size(), result.wall_seconds,
+                result.jobs);
+    return result.all_ok() ? 0 : 1;
 }

@@ -1,98 +1,42 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: configuration tweaks,
- * geometric means, and table printing.
+ * Shared helpers for the experiment harnesses. The CSV sink, number
+ * formatting, geometric mean, and config-tweak helpers now live in the
+ * sweep harness (src/harness/) and are aliased here so the remaining
+ * hand-rolled bench binaries keep working unchanged; new experiments
+ * should target the harness directly (see docs/HARNESS.md).
  */
 
 #ifndef GPUSHIELD_BENCH_BENCH_UTIL_H
 #define GPUSHIELD_BENCH_BENCH_UTIL_H
 
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "driver/driver.h"
+#include "harness/metrics.h"
+#include "harness/suites.h"
+#include "harness/thread_pool.h"
 #include "sim/config.h"
 #include "workloads/runner.h"
 #include "workloads/suites.h"
 
 namespace gpushield::bench {
 
-/**
- * Plot-ready CSV output: when the GPUSHIELD_CSV_DIR environment
- * variable names a directory, each harness also writes its series as
- * `<dir>/<name>.csv`; otherwise every call is a no-op.
- */
-class CsvSink
+using harness::CsvSink;
+using harness::fmt;
+using harness::geomean;
+using harness::with_l1_entries;
+using harness::with_rcache_latency;
+
+/** Worker count for sweep-backed benches: $GPUSHIELD_JOBS or all cores. */
+inline unsigned
+default_jobs()
 {
-  public:
-    CsvSink(const std::string &name,
-            const std::vector<std::string> &headers)
-    {
-        const char *dir = std::getenv("GPUSHIELD_CSV_DIR");
-        if (dir == nullptr)
-            return;
-        out_.open(std::string(dir) + "/" + name + ".csv");
-        if (!out_.is_open())
-            return;
-        row(headers);
-    }
-
-    /** Writes one comma-separated row (no-op when disabled). */
-    void
-    row(const std::vector<std::string> &cells)
-    {
-        if (!out_.is_open())
-            return;
-        for (std::size_t i = 0; i < cells.size(); ++i)
-            out_ << (i ? "," : "") << cells[i];
-        out_ << "\n";
-    }
-
-  private:
-    std::ofstream out_;
-};
-
-/** Formats a double with fixed precision for CSV cells. */
-inline std::string
-fmt(double v, int digits = 4)
-{
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
-    return buf;
-}
-
-/** Geometric mean of @p values (1.0 when empty). */
-inline double
-geomean(const std::vector<double> &values)
-{
-    if (values.empty())
-        return 1.0;
-    double log_sum = 0;
-    for (const double v : values)
-        log_sum += std::log(v);
-    return std::exp(log_sum / static_cast<double>(values.size()));
-}
-
-/** Returns @p base with the given RCache latencies. */
-inline GpuConfig
-with_rcache_latency(GpuConfig base, Cycle l1, Cycle l2)
-{
-    base.rcache.l1_latency = l1;
-    base.rcache.l2_latency = l2;
-    return base;
-}
-
-/** Returns @p base with the given L1 RCache entry count. */
-inline GpuConfig
-with_l1_entries(GpuConfig base, unsigned entries)
-{
-    base.rcache.l1_entries = entries;
-    return base;
+    if (const char *env = std::getenv("GPUSHIELD_JOBS"))
+        return static_cast<unsigned>(std::strtoul(env, nullptr, 10));
+    return harness::ThreadPool::hardware_jobs();
 }
 
 /**

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: build, run the test suite, and smoke the sweep
+# harness. `--tsan` additionally rebuilds the harness under
+# ThreadSanitizer and re-runs the concurrency-sensitive pieces.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B build -S .
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+# Smoke sweep: every cell shape, parallel executor, JSONL/CSV sinks.
+./build/src/gpushield-sweep --suite smoke --jobs 4 --quiet \
+    --jsonl build/smoke.jsonl --csv build/smoke.csv
+
+# Determinism gate: parallel output must be byte-identical to serial.
+./build/src/gpushield-sweep --suite smoke --jobs 1 --quiet \
+    --jsonl build/smoke-serial.jsonl > /dev/null
+cmp build/smoke.jsonl build/smoke-serial.jsonl
+
+if [[ "${1:-}" == "--tsan" ]]; then
+    cmake --preset tsan
+    cmake --build build-tsan -j"$JOBS" --target test_harness gpushield-sweep
+    ./build-tsan/tests/test_harness
+    ./build-tsan/src/gpushield-sweep --suite smoke --jobs 4 --quiet
+fi
+
+echo "ci: OK"

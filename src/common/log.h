@@ -9,9 +9,22 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
 #include <string>
 
 namespace gpushield {
+
+/**
+ * Recoverable simulation failure (cycle-budget exhaustion, scheduler
+ * deadlock, malformed sweep cell). Unlike fatal()/panic(), these are
+ * thrown so a harness can record a structured failure for one run and
+ * keep the rest of a sweep alive.
+ */
+class SimulationError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
 
 namespace detail {
 

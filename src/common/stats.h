@@ -63,6 +63,15 @@ class StatSet
     /** Removes all counters. */
     void clear() { counters_.clear(); }
 
+    /** Two sets are equal iff they hold the same counters and values.
+     *  merge() is associative and commutative under this equality, which
+     *  is what lets per-thread sweep shards aggregate in any order. */
+    friend bool
+    operator==(const StatSet &a, const StatSet &b)
+    {
+        return a.counters_ == b.counters_;
+    }
+
     /** Read-only view for iteration / dumping. */
     const std::map<std::string, std::uint64_t> &counters() const { return counters_; }
 

@@ -1,0 +1,518 @@
+#include "harness/metrics.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+
+#include "common/log.h"
+
+namespace gpushield::harness {
+
+namespace {
+
+/** Shortest %.17g spelling that round-trips an IEEE double exactly. */
+std::string
+double_repr(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+stat_set_json(const StatSet &s)
+{
+    std::string out = "{";
+    bool first = true;
+    for (const auto &[name, value] : s.counters()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + json_escape(name) + "\":" + std::to_string(value);
+    }
+    out += "}";
+    return out;
+}
+
+/** Everything but the shield flag: the join key for overhead pairs. */
+std::string
+pair_group_key(const RunRecord &r)
+{
+    return r.suite + "\x1f" + r.set + "\x1f" + r.workload + "\x1f" +
+           r.workload_b + "\x1f" + r.config + "\x1f" + r.placement +
+           "\x1f" + (r.use_static ? "s" : "-") + "\x1f" +
+           std::to_string(r.launches);
+}
+
+} // namespace
+
+bool
+operator==(const RunRecord &a, const RunRecord &b)
+{
+    return a.key == b.key && a.suite == b.suite && a.set == b.set &&
+           a.workload == b.workload && a.workload_b == b.workload_b &&
+           a.config == b.config && a.placement == b.placement &&
+           a.shield == b.shield && a.use_static == b.use_static &&
+           a.launches == b.launches && a.seed == b.seed && a.ok == b.ok &&
+           a.aborted == b.aborted && a.error == b.error &&
+           a.cycles == b.cycles && a.violations == b.violations &&
+           a.l1_rcache_hit_rate == b.l1_rcache_hit_rate &&
+           a.rcache == b.rcache && a.bcu == b.bcu && a.mem == b.mem &&
+           a.kernel == b.kernel;
+}
+
+double
+OverheadPair::ratio() const
+{
+    return static_cast<double>(shielded->cycles) /
+           static_cast<double>(baseline->cycles);
+}
+
+std::vector<OverheadPair>
+pair_overheads(const std::vector<RunRecord> &records)
+{
+    std::map<std::string, OverheadPair> by_group;
+    std::vector<std::string> order;
+    for (const RunRecord &r : records) {
+        if (!r.ok)
+            continue;
+        const std::string group = pair_group_key(r);
+        auto [it, inserted] = by_group.try_emplace(group);
+        if (inserted)
+            order.push_back(group);
+        (r.shield ? it->second.shielded : it->second.baseline) = &r;
+    }
+
+    std::vector<OverheadPair> out;
+    for (const std::string &group : order) {
+        const OverheadPair &p = by_group[group];
+        if (p.baseline != nullptr && p.shielded != nullptr &&
+            p.baseline->cycles != 0)
+            out.push_back(p);
+    }
+    return out;
+}
+
+std::string
+json_escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        case '\r': out += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+csv_escape(const std::string &s)
+{
+    if (s.find_first_of(",\"\n") == std::string::npos)
+        return s;
+    std::string out = "\"";
+    for (const char c : s) {
+        if (c == '"')
+            out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+std::vector<std::string>
+csv_split(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cur += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cur += c;
+            }
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == ',') {
+            cells.push_back(std::move(cur));
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    cells.push_back(std::move(cur));
+    return cells;
+}
+
+void
+MetricsRegistry::write_jsonl(std::ostream &os) const
+{
+    for (const RunRecord &r : records_) {
+        os << "{\"key\":\"" << json_escape(r.key) << "\""
+           << ",\"suite\":\"" << json_escape(r.suite) << "\""
+           << ",\"set\":\"" << json_escape(r.set) << "\""
+           << ",\"workload\":\"" << json_escape(r.workload) << "\""
+           << ",\"workload_b\":\"" << json_escape(r.workload_b) << "\""
+           << ",\"config\":\"" << json_escape(r.config) << "\""
+           << ",\"placement\":\"" << json_escape(r.placement) << "\""
+           << ",\"shield\":" << (r.shield ? "true" : "false")
+           << ",\"use_static\":" << (r.use_static ? "true" : "false")
+           << ",\"launches\":" << r.launches
+           << ",\"seed\":" << r.seed
+           << ",\"ok\":" << (r.ok ? "true" : "false")
+           << ",\"aborted\":" << (r.aborted ? "true" : "false")
+           << ",\"error\":\"" << json_escape(r.error) << "\""
+           << ",\"cycles\":" << r.cycles
+           << ",\"violations\":" << r.violations
+           << ",\"l1_rcache_hit_rate\":" << double_repr(r.l1_rcache_hit_rate)
+           << ",\"rcache\":" << stat_set_json(r.rcache)
+           << ",\"bcu\":" << stat_set_json(r.bcu)
+           << ",\"mem\":" << stat_set_json(r.mem)
+           << ",\"kernel\":" << stat_set_json(r.kernel)
+           << "}\n";
+    }
+}
+
+const std::vector<std::string> &
+MetricsRegistry::csv_header()
+{
+    static const std::vector<std::string> header = {
+        "key",       "suite",     "set",        "workload",
+        "workload_b", "config",   "placement",  "shield",
+        "use_static", "launches", "seed",       "ok",
+        "aborted",    "error",    "cycles",     "violations",
+        "l1_rcache_hit_rate"};
+    return header;
+}
+
+void
+MetricsRegistry::write_csv(std::ostream &os) const
+{
+    const auto &header = csv_header();
+    for (std::size_t i = 0; i < header.size(); ++i)
+        os << (i ? "," : "") << header[i];
+    os << "\n";
+    for (const RunRecord &r : records_) {
+        os << csv_escape(r.key) << "," << csv_escape(r.suite) << ","
+           << csv_escape(r.set) << "," << csv_escape(r.workload) << ","
+           << csv_escape(r.workload_b) << "," << csv_escape(r.config) << ","
+           << csv_escape(r.placement) << "," << (r.shield ? 1 : 0) << ","
+           << (r.use_static ? 1 : 0) << "," << r.launches << "," << r.seed
+           << "," << (r.ok ? 1 : 0) << "," << (r.aborted ? 1 : 0) << ","
+           << csv_escape(r.error) << "," << r.cycles << "," << r.violations
+           << "," << double_repr(r.l1_rcache_hit_rate) << "\n";
+    }
+}
+
+void
+MetricsRegistry::write_summary(std::ostream &os, double wall_seconds,
+                               unsigned jobs) const
+{
+    std::size_t ok = 0, failed = 0, aborted = 0;
+    std::uint64_t violations = 0;
+    for (const RunRecord &r : records_) {
+        (r.ok ? ok : failed)++;
+        aborted += r.aborted ? 1 : 0;
+        violations += r.violations;
+    }
+
+    os << "sweep " << (records_.empty() ? "(empty)" : records_[0].suite)
+       << ": " << records_.size() << " cells, " << ok << " ok, " << failed
+       << " failed, " << aborted << " aborted, " << violations
+       << " violations\n";
+    if (wall_seconds > 0.0) {
+        os << "  wall " << fmt(wall_seconds, 2) << "s, "
+           << fmt(static_cast<double>(records_.size()) / wall_seconds, 2)
+           << " runs/sec (jobs=" << jobs << ")\n";
+    }
+
+    const std::vector<OverheadPair> pairs = pair_overheads(records_);
+    if (!pairs.empty()) {
+        std::vector<double> ratios;
+        ratios.reserve(pairs.size());
+        const OverheadPair *worst = nullptr;
+        for (const OverheadPair &p : pairs) {
+            ratios.push_back(p.ratio());
+            if (worst == nullptr || p.ratio() > worst->ratio())
+                worst = &p;
+        }
+        os << "  shield overhead geomean " << fmt(geomean(ratios)) << " over "
+           << pairs.size() << " pairs (worst " << fmt(worst->ratio()) << " "
+           << worst->shielded->key << ")\n";
+    }
+
+    for (const RunRecord &r : records_)
+        if (!r.ok)
+            os << "  FAIL " << r.key << ": " << r.error << "\n";
+}
+
+// ---------------------------------------------------------------------------
+// JSONL parsing (exactly the subset write_jsonl emits).
+
+namespace {
+
+class JsonCursor
+{
+  public:
+    explicit JsonCursor(const std::string &line) : s_(line) {}
+
+    void
+    expect(char c)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != c)
+            throw SimulationError("jsonl: expected '" + std::string(1, c) +
+                                  "' at offset " + std::to_string(pos_));
+        ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < s_.size() && s_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    char
+    peek() const
+    {
+        return pos_ < s_.size() ? s_[pos_] : '\0';
+    }
+
+    std::string
+    parse_string()
+    {
+        expect('"');
+        std::string out;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size())
+                throw SimulationError("jsonl: dangling escape");
+            const char e = s_[pos_++];
+            switch (e) {
+            case '"': out += '"'; break;
+            case '\\': out += '\\'; break;
+            case '/': out += '/'; break;
+            case 'n': out += '\n'; break;
+            case 't': out += '\t'; break;
+            case 'r': out += '\r'; break;
+            case 'b': out += '\b'; break;
+            case 'f': out += '\f'; break;
+            case 'u': {
+                if (pos_ + 4 > s_.size())
+                    throw SimulationError("jsonl: bad \\u escape");
+                const unsigned long code =
+                    std::strtoul(s_.substr(pos_, 4).c_str(), nullptr, 16);
+                pos_ += 4;
+                // Only ASCII control characters are emitted this way.
+                out += static_cast<char>(code);
+                break;
+            }
+            default:
+                throw SimulationError("jsonl: unknown escape");
+            }
+        }
+        expect('"');
+        return out;
+    }
+
+    /** Raw numeric token; the caller picks signed/unsigned/double. */
+    std::string
+    parse_number_token()
+    {
+        const std::size_t start = pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+                s_[pos_] == '-' || s_[pos_] == '+' || s_[pos_] == '.' ||
+                s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == 'i' ||
+                s_[pos_] == 'n' || s_[pos_] == 'f' || s_[pos_] == 'a'))
+            ++pos_;
+        if (pos_ == start)
+            throw SimulationError("jsonl: expected number at offset " +
+                                  std::to_string(start));
+        return s_.substr(start, pos_ - start);
+    }
+
+    bool
+    parse_bool()
+    {
+        if (s_.compare(pos_, 4, "true") == 0) {
+            pos_ += 4;
+            return true;
+        }
+        if (s_.compare(pos_, 5, "false") == 0) {
+            pos_ += 5;
+            return false;
+        }
+        throw SimulationError("jsonl: expected boolean");
+    }
+
+    StatSet
+    parse_stat_set()
+    {
+        StatSet out;
+        expect('{');
+        if (consume('}'))
+            return out;
+        do {
+            const std::string name = parse_string();
+            expect(':');
+            out.set(name, std::strtoull(parse_number_token().c_str(),
+                                        nullptr, 10));
+        } while (consume(','));
+        expect('}');
+        return out;
+    }
+
+  private:
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::vector<RunRecord>
+MetricsRegistry::read_jsonl(std::istream &is)
+{
+    std::vector<RunRecord> out;
+    std::string line;
+    while (std::getline(is, line)) {
+        if (line.empty())
+            continue;
+        JsonCursor cur(line);
+        RunRecord r;
+        cur.expect('{');
+        do {
+            const std::string field = cur.parse_string();
+            cur.expect(':');
+            if (field == "key")
+                r.key = cur.parse_string();
+            else if (field == "suite")
+                r.suite = cur.parse_string();
+            else if (field == "set")
+                r.set = cur.parse_string();
+            else if (field == "workload")
+                r.workload = cur.parse_string();
+            else if (field == "workload_b")
+                r.workload_b = cur.parse_string();
+            else if (field == "config")
+                r.config = cur.parse_string();
+            else if (field == "placement")
+                r.placement = cur.parse_string();
+            else if (field == "error")
+                r.error = cur.parse_string();
+            else if (field == "shield")
+                r.shield = cur.parse_bool();
+            else if (field == "use_static")
+                r.use_static = cur.parse_bool();
+            else if (field == "ok")
+                r.ok = cur.parse_bool();
+            else if (field == "aborted")
+                r.aborted = cur.parse_bool();
+            else if (field == "launches")
+                r.launches = static_cast<unsigned>(std::strtoul(
+                    cur.parse_number_token().c_str(), nullptr, 10));
+            else if (field == "seed")
+                r.seed = std::strtoull(cur.parse_number_token().c_str(),
+                                       nullptr, 10);
+            else if (field == "cycles")
+                r.cycles = std::strtoull(cur.parse_number_token().c_str(),
+                                         nullptr, 10);
+            else if (field == "violations")
+                r.violations = std::strtoull(cur.parse_number_token().c_str(),
+                                             nullptr, 10);
+            else if (field == "l1_rcache_hit_rate")
+                r.l1_rcache_hit_rate =
+                    std::strtod(cur.parse_number_token().c_str(), nullptr);
+            else if (field == "rcache")
+                r.rcache = cur.parse_stat_set();
+            else if (field == "bcu")
+                r.bcu = cur.parse_stat_set();
+            else if (field == "mem")
+                r.mem = cur.parse_stat_set();
+            else if (field == "kernel")
+                r.kernel = cur.parse_stat_set();
+            else
+                throw SimulationError("jsonl: unknown field " + field);
+        } while (cur.consume(','));
+        cur.expect('}');
+        out.push_back(std::move(r));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+
+std::string
+fmt(double v, int digits)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 1.0;
+    double log_sum = 0;
+    for (const double v : values)
+        log_sum += std::log(v);
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+CsvSink::CsvSink(const std::string &name,
+                 const std::vector<std::string> &headers)
+{
+    const char *dir = std::getenv("GPUSHIELD_CSV_DIR");
+    if (dir == nullptr)
+        return;
+    out_.open(std::string(dir) + "/" + name + ".csv");
+    if (!out_.is_open())
+        return;
+    row(headers);
+}
+
+void
+CsvSink::row(const std::vector<std::string> &cells)
+{
+    if (!out_.is_open())
+        return;
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        out_ << (i ? "," : "") << cells[i];
+    out_ << "\n";
+}
+
+} // namespace gpushield::harness

@@ -1,0 +1,152 @@
+#include "harness/suites.h"
+
+#include "workloads/suites.h"
+
+namespace gpushield::harness {
+
+GpuConfig
+with_rcache_latency(GpuConfig base, Cycle l1, Cycle l2)
+{
+    base.rcache.l1_latency = l1;
+    base.rcache.l2_latency = l2;
+    return base;
+}
+
+GpuConfig
+with_l1_entries(GpuConfig base, unsigned entries)
+{
+    base.rcache.l1_entries = entries;
+    return base;
+}
+
+namespace {
+
+std::vector<std::string>
+cuda_names()
+{
+    std::vector<std::string> names;
+    for (const workloads::BenchmarkDef &d : workloads::cuda_benchmarks())
+        names.push_back(d.name);
+    return names;
+}
+
+} // namespace
+
+SweepSpec
+smoke_suite()
+{
+    SweepSpec spec;
+    spec.name = "smoke";
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 8; // timing shape unchanged, much faster
+    spec.add_config("nv8", cfg);
+
+    // Single-kernel cells across shield/static settings.
+    spec.add_grid("cuda", {"vectoradd", "ConvSep"}, {"nv8"}, {false, true});
+    spec.add_grid("cuda", {"vectoradd"}, {"nv8"}, {true},
+                  /*use_static=*/true);
+
+    // One multi-launch cell (Fig. 19 shape).
+    spec.add_grid("cuda", {"vectoradd"}, {"nv8"}, {true},
+                  /*use_static=*/false, /*launches=*/3);
+
+    // One co-scheduled pair in each placement mode.
+    for (const Placement p : {Placement::kSplit, Placement::kShared}) {
+        CellSpec cell;
+        cell.set = "cuda";
+        cell.workload = "vectoradd";
+        cell.workload_b = "ConvSep";
+        cell.placement = p;
+        cell.config = "nv8";
+        cell.shield = true;
+        spec.cells.push_back(cell);
+    }
+    return spec;
+}
+
+SweepSpec
+fig14_suite()
+{
+    SweepSpec spec;
+    spec.name = "fig14";
+    spec.add_config("l1_1_l2_3", with_rcache_latency(nvidia_config(), 1, 3));
+    spec.add_config("l1_2_l2_5", with_rcache_latency(nvidia_config(), 2, 5));
+    spec.add_grid("cuda", cuda_names(), {"l1_1_l2_3", "l1_2_l2_5"},
+                  {false, true});
+    return spec;
+}
+
+SweepSpec
+fig15_suite()
+{
+    SweepSpec spec;
+    spec.name = "fig15";
+    std::vector<std::string> config_names;
+    for (const unsigned entries : {1u, 2u, 4u, 8u, 16u}) {
+        const std::string name = "e" + std::to_string(entries);
+        spec.add_config(name, with_l1_entries(nvidia_config(), entries));
+        config_names.push_back(name);
+    }
+    std::vector<std::string> sensitive;
+    for (const workloads::BenchmarkDef &d : workloads::cuda_benchmarks())
+        if (d.rcache_sensitive)
+            sensitive.push_back(d.name);
+    spec.add_grid("cuda", sensitive, config_names, {true});
+    return spec;
+}
+
+SweepSpec
+fig18_suite()
+{
+    SweepSpec spec;
+    spec.name = "fig18";
+    spec.add_config("intel", intel_config());
+
+    const std::vector<std::string> names = {
+        "bfs",    "cfd", "hotspot3D",    "hybridsort",
+        "kmeans", "nn",  "streamcluster"};
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        for (std::size_t j = i + 1; j < names.size(); ++j) {
+            for (const Placement p : {Placement::kSplit, Placement::kShared}) {
+                for (const bool shield : {false, true}) {
+                    CellSpec cell;
+                    cell.set = "opencl";
+                    cell.workload = names[i];
+                    cell.workload_b = names[j];
+                    cell.placement = p;
+                    cell.config = "intel";
+                    cell.shield = shield;
+                    spec.cells.push_back(cell);
+                }
+            }
+        }
+    }
+    return spec;
+}
+
+const std::vector<SuiteDef> &
+suites()
+{
+    static const std::vector<SuiteDef> defs = {
+        {"smoke", "seconds-scale grid covering every cell shape",
+         &smoke_suite},
+        {"fig14", "CUDA overhead grid, two RCache latencies (Fig. 14)",
+         &fig14_suite},
+        {"fig15", "L1 RCache hit-rate sweep, 1-16 entries (Fig. 15)",
+         &fig15_suite},
+        {"fig18", "OpenCL multi-kernel pairs, Intel config (Fig. 18)",
+         &fig18_suite},
+    };
+    return defs;
+}
+
+const SuiteDef *
+find_suite(const std::string &name)
+{
+    for (const SuiteDef &s : suites())
+        if (s.name == name)
+            return &s;
+    return nullptr;
+}
+
+} // namespace gpushield::harness

@@ -1,0 +1,98 @@
+#include "harness/sweep.h"
+
+#include "common/log.h"
+#include "common/rng.h"
+
+namespace gpushield::harness {
+
+const char *
+to_string(Placement p)
+{
+    switch (p) {
+    case Placement::kWhole: return "whole";
+    case Placement::kSplit: return "split";
+    case Placement::kShared: return "shared";
+    }
+    return "?";
+}
+
+void
+SweepSpec::add_config(const std::string &cfg_name, const GpuConfig &cfg)
+{
+    for (const auto &[existing, unused] : configs)
+        if (existing == cfg_name)
+            throw SimulationError("SweepSpec: duplicate config " + cfg_name);
+    configs.emplace_back(cfg_name, cfg);
+}
+
+const GpuConfig &
+SweepSpec::config(const std::string &cfg_name) const
+{
+    for (const auto &[existing, cfg] : configs)
+        if (existing == cfg_name)
+            return cfg;
+    throw SimulationError("SweepSpec: unknown config " + cfg_name);
+}
+
+void
+SweepSpec::add_grid(const std::string &set,
+                    const std::vector<std::string> &workloads,
+                    const std::vector<std::string> &config_names,
+                    const std::vector<bool> &shield_axis, bool use_static,
+                    unsigned launches)
+{
+    for (const std::string &w : workloads) {
+        for (const std::string &c : config_names) {
+            for (const bool s : shield_axis) {
+                CellSpec cell;
+                cell.set = set;
+                cell.workload = w;
+                cell.config = c;
+                cell.shield = s;
+                cell.use_static = use_static;
+                cell.launches = launches;
+                cells.push_back(std::move(cell));
+            }
+        }
+    }
+}
+
+std::string
+cell_key(const SweepSpec &spec, const CellSpec &cell)
+{
+    std::string key = spec.name + "/" + cell.config + "/" + cell.set + ":" +
+                      cell.workload;
+    if (!cell.workload_b.empty())
+        key += "+" + cell.workload_b + "@" + to_string(cell.placement);
+    key += cell.shield ? "/shield" : "/base";
+    if (cell.use_static)
+        key += "+static";
+    if (cell.launches != 1)
+        key += "/x" + std::to_string(cell.launches);
+    return key;
+}
+
+std::uint64_t
+cell_seed(const SweepSpec &spec, const CellSpec &cell)
+{
+    // FNV-1a over the layout coordinates, whitened through SplitMix64.
+    // Deliberately excludes the shield/static/launch axes: cells that
+    // differ only in protection settings share a seed, so a
+    // baseline/shield pair sees identical buffer layouts and their
+    // cycle ratio measures the mechanism, not placement noise.
+    // Independent of grid order and thread count by construction.
+    const std::string key = spec.name + "/" + cell.config + "/" + cell.set +
+                            ":" + cell.workload +
+                            (cell.workload_b.empty()
+                                 ? ""
+                                 : "+" + cell.workload_b + "@" +
+                                       to_string(cell.placement));
+    std::uint64_t h = 0xCBF29CE484222325ull;
+    for (const char c : key) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ull;
+    }
+    return splitmix64(h);
+}
+
+} // namespace gpushield::harness

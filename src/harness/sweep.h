@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Sweep specification: a declarative grid of simulation runs.
+ *
+ * The paper's evaluation is a large cross-product — workloads ×
+ * machine configs × {baseline, GPUShield} × static analysis ×
+ * launch counts (Table 5 / Figs. 14-19). A SweepSpec names one such
+ * grid programmatically; the executor (harness/executor.h) runs each
+ * cell as an independent simulation.
+ *
+ * Determinism contract: every cell owns a fresh GpuDevice/Driver whose
+ * RNG seed is derived purely from the cell's *coordinates* (its stable
+ * key string), never from enumeration order, wall clock, or thread
+ * identity. Parallel and serial sweeps therefore produce bit-identical
+ * metric records.
+ */
+
+#ifndef GPUSHIELD_HARNESS_SWEEP_H
+#define GPUSHIELD_HARNESS_SWEEP_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/config.h"
+
+namespace gpushield::harness {
+
+/** Core placement for two-kernel cells (§6.2 multi-kernel modes). */
+enum class Placement
+{
+    kWhole,  //!< single kernel over every core
+    kSplit,  //!< inter-core: disjoint core halves
+    kShared, //!< intra-core: both kernels on every core
+};
+
+/** Short stable spelling used in keys and records. */
+const char *to_string(Placement p);
+
+/** One cell of the grid: a single independent simulation. */
+struct CellSpec
+{
+    std::string set = "cuda";  //!< benchmark set: cuda / opencl / fig19
+    std::string workload;      //!< BenchmarkDef name within the set
+    std::string workload_b;    //!< optional co-runner (multi-kernel cell)
+    Placement placement = Placement::kWhole;
+    std::string config;        //!< key into SweepSpec::configs
+    bool shield = false;       //!< GPUShield on/off
+    bool use_static = false;   //!< §5.3 static-analysis elision
+    unsigned launches = 1;     //!< back-to-back launches (Fig. 19 style)
+};
+
+/** A named grid of cells plus the machine configs they refer to. */
+struct SweepSpec
+{
+    std::string name;
+    std::vector<std::pair<std::string, GpuConfig>> configs;
+    std::vector<CellSpec> cells;
+
+    /** Registers @p cfg under @p cfg_name (throws on duplicates). */
+    void add_config(const std::string &cfg_name, const GpuConfig &cfg);
+
+    /** Looks up a registered config; throws SimulationError if absent. */
+    const GpuConfig &config(const std::string &cfg_name) const;
+
+    /**
+     * Cross-product helper: appends one single-kernel cell per
+     * (workload × config × shield flag) combination.
+     */
+    void add_grid(const std::string &set,
+                  const std::vector<std::string> &workloads,
+                  const std::vector<std::string> &config_names,
+                  const std::vector<bool> &shield_axis,
+                  bool use_static = false, unsigned launches = 1);
+};
+
+/**
+ * Stable identity of @p cell inside @p spec — a human-readable string
+ * that depends only on the cell's coordinates (and the spec name), not
+ * on its position in the grid.
+ */
+std::string cell_key(const SweepSpec &spec, const CellSpec &cell);
+
+/** Deterministic RNG seed for the cell's Driver, derived from its key. */
+std::uint64_t cell_seed(const SweepSpec &spec, const CellSpec &cell);
+
+} // namespace gpushield::harness
+
+#endif // GPUSHIELD_HARNESS_SWEEP_H

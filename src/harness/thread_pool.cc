@@ -1,0 +1,94 @@
+#include "harness/thread_pool.h"
+
+#include <algorithm>
+
+namespace gpushield::harness {
+
+ThreadPool::ThreadPool(unsigned num_threads)
+    : queues_(std::max(1u, num_threads))
+{
+    threads_.reserve(queues_.size());
+    for (std::size_t i = 0; i < queues_.size(); ++i)
+        threads_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        queues_[next_queue_].push_back(std::move(job));
+        next_queue_ = (next_queue_ + 1) % queues_.size();
+        ++pending_;
+    }
+    work_cv_.notify_one();
+}
+
+bool
+ThreadPool::take_job(std::size_t self, std::function<void()> &out)
+{
+    if (!queues_[self].empty()) {
+        out = std::move(queues_[self].back());
+        queues_[self].pop_back();
+        return true;
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+        std::deque<std::function<void()>> &victim =
+            queues_[(self + k) % queues_.size()];
+        if (!victim.empty()) {
+            out = std::move(victim.front());
+            victim.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::worker_loop(std::size_t self)
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            // Order matters: drain remaining work before honoring stop_.
+            work_cv_.wait(lock,
+                          [&] { return take_job(self, job) || stop_; });
+            if (!job) // stop_ with no remaining work
+                return;
+        }
+        job();
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            --pending_;
+        }
+        idle_cv_.notify_all();
+    }
+}
+
+void
+ThreadPool::wait_idle()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [&] { return pending_ == 0; });
+}
+
+unsigned
+ThreadPool::hardware_jobs()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+} // namespace gpushield::harness

@@ -55,7 +55,8 @@ Gpu::run()
 
     while (!all_done()) {
         if (eq_.now() >= deadline)
-            fatal("Gpu::run: cycle budget exhausted (possible livelock)");
+            throw SimulationError(
+                "Gpu::run: cycle budget exhausted (possible livelock)");
 
         bool any = false;
         for (auto &core : cores_)
@@ -76,8 +77,9 @@ Gpu::run()
 
         if (!any && eq_.empty()) {
             if (++idle_streak > 8)
-                panic("Gpu::run: no progress with empty event queue "
-                      "(simulation deadlock)");
+                throw SimulationError(
+                    "Gpu::run: no progress with empty event queue "
+                    "(simulation deadlock)");
         } else {
             idle_streak = 0;
         }

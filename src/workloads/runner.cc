@@ -1,6 +1,34 @@
 #include "workloads/runner.h"
 
+#include "mem/hierarchy.h"
+
 namespace gpushield::workloads {
+
+StatSet
+collect_mem_stats(Gpu &gpu)
+{
+    const auto add_prefixed = [](StatSet &into, const std::string &prefix,
+                                 const StatSet &from) {
+        for (const auto &[name, value] : from.counters())
+            into.add(prefix + name, value);
+    };
+
+    MemoryHierarchy &hier = gpu.hierarchy();
+    StatSet l1, l1_tlb;
+    for (std::size_t c = 0; c < gpu.num_cores(); ++c) {
+        l1.merge(hier.l1(static_cast<CoreId>(c)).stats());
+        l1_tlb.merge(hier.l1_tlb(static_cast<CoreId>(c)).stats());
+    }
+
+    StatSet out;
+    add_prefixed(out, "hier.", hier.stats());
+    add_prefixed(out, "l1.", l1);
+    add_prefixed(out, "l1_tlb.", l1_tlb);
+    add_prefixed(out, "l2.", hier.l2().stats());
+    add_prefixed(out, "l2_tlb.", hier.l2_tlb().stats());
+    add_prefixed(out, "dram.", hier.dram().stats());
+    return out;
+}
 
 RunOutcome
 run_workload(const GpuConfig &cfg, Driver &driver,
@@ -19,6 +47,7 @@ run_workload(const GpuConfig &cfg, Driver &driver,
     out.canaries = driver.finish(gpu.launch_state(idx));
     out.rcache = gpu.rcache_stats();
     out.bcu = gpu.bcu_stats();
+    out.mem = collect_mem_stats(gpu);
     out.l1_rcache_hit_rate = gpu.rcache_l1_hit_rate();
     return out;
 }
@@ -41,10 +70,12 @@ run_workload_n(const GpuConfig &cfg, Driver &driver,
         const KernelResult r = gpu.result(idx);
         out.total_cycles += r.cycles();
         out.violations += r.violations.size();
+        out.aborted |= r.aborted;
         driver.finish(gpu.launch_state(idx));
     }
     out.rcache = gpu.rcache_stats();
     out.bcu = gpu.bcu_stats();
+    out.mem = collect_mem_stats(gpu);
     return out;
 }
 

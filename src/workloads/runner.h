@@ -22,8 +22,16 @@ struct RunOutcome
     std::vector<CanaryReport> canaries;
     StatSet rcache;       //!< aggregated RCache stats
     StatSet bcu;          //!< aggregated BCU stats
+    StatSet mem;          //!< hierarchy stats (see collect_mem_stats)
     double l1_rcache_hit_rate = 0.0;
 };
+
+/**
+ * Aggregates the memory-hierarchy counters of @p gpu into one StatSet
+ * with component prefixes: "hier.", "l1." / "l1_tlb." (merged across
+ * cores), "l2.", "l2_tlb.", and "dram.".
+ */
+StatSet collect_mem_stats(Gpu &gpu);
 
 /** Runs @p instance once on a freshly constructed GPU. */
 RunOutcome run_workload(const GpuConfig &cfg, Driver &driver,
@@ -42,7 +50,9 @@ struct MultiLaunchOutcome
     Cycle total_cycles = 0;
     StatSet rcache;
     StatSet bcu;
+    StatSet mem;          //!< hierarchy stats (see collect_mem_stats)
     std::uint64_t violations = 0;
+    bool aborted = false; //!< any launch aborted (precise exceptions)
 };
 
 MultiLaunchOutcome run_workload_n(const GpuConfig &cfg, Driver &driver,

@@ -141,6 +141,37 @@ TEST(Stats, MergeAndDump)
     EXPECT_NE(os.str().find("pre.y 5"), std::string::npos);
 }
 
+TEST(Stats, MergeIsCommutativeAndAssociative)
+{
+    // Per-thread sweep shards aggregate via merge(); ordering must not
+    // matter. Exercise with randomized overlapping counter sets.
+    Rng rng(0xC0FFEEull);
+    const char *names[] = {"a", "b", "c", "d", "e"};
+    for (int trial = 0; trial < 50; ++trial) {
+        StatSet a, b, c;
+        for (const char *n : names) {
+            if (rng.chance(0.7))
+                a.add(n, rng.below(1000));
+            if (rng.chance(0.7))
+                b.add(n, rng.below(1000));
+            if (rng.chance(0.7))
+                c.add(n, rng.below(1000));
+        }
+
+        StatSet ab = a, ba = b;
+        ab.merge(b);
+        ba.merge(a);
+        EXPECT_TRUE(ab == ba);
+
+        StatSet ab_c = ab, a_bc = b;
+        ab_c.merge(c);
+        a_bc.merge(c);
+        StatSet left = a;
+        left.merge(a_bc);
+        EXPECT_TRUE(ab_c == left);
+    }
+}
+
 TEST(EventQueue, OrderedByCycleThenSeq)
 {
     EventQueue eq;
