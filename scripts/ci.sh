@@ -20,6 +20,19 @@ ctest --test-dir build --output-on-failure -j"$JOBS"
     --jsonl build/smoke-serial.jsonl > /dev/null
 cmp build/smoke.jsonl build/smoke-serial.jsonl
 
+# Golden gate: simulated behaviour must match the committed record.
+# A legitimate model change updates tests/golden/smoke.jsonl in the
+# same commit.
+cmp build/smoke-serial.jsonl tests/golden/smoke.jsonl
+
+# Perf smoke: Release build, simulator-throughput microbenchmark.
+# Refreshes BENCH_sim_throughput.json (committed as the baseline).
+cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build-perf -j"$JOBS" --target gpushield-throughput
+./build-perf/src/gpushield-throughput --suite smoke --reps 3 \
+    --json BENCH_sim_throughput.json \
+    --baseline-cycles-per-sec 4.207e5
+
 if [[ "${1:-}" == "--tsan" ]]; then
     cmake --preset tsan
     cmake --build build-tsan -j"$JOBS" --target test_harness gpushield-sweep

@@ -6,12 +6,36 @@
  * (e.g. "core0.lsu.coalesced_transactions"); harnesses query or dump them
  * after simulation. The registry is intentionally simple: scalar counters
  * and derived ratios cover everything the paper's figures need.
+ *
+ * Two write paths exist:
+ *
+ *  - The string-keyed add()/set() calls, for cold paths (setup, teardown,
+ *    one-off bookkeeping). Each call pays a map lookup.
+ *  - Interned Counter handles, for the simulation hot path. A component
+ *    resolves each of its counters ONCE at construction
+ *    (`c_hits_(stats_.counter("hits"))`) and bumps the handle per event
+ *    (`++c_hits_` / `c_hits_ += n`) — a single pointer-sized add, no
+ *    string construction, no tree walk.
+ *
+ * Interned counters accumulate in private slots and are folded into the
+ * string-keyed map lazily, on the first query (get/counters/dump/merge/
+ * operator==). A slot that was never bumped never materializes, so the
+ * observable surface — which counters exist, their values, dump order —
+ * is identical to having used add() for every event.
+ *
+ * Handle validity: handles stay valid for the lifetime of the StatSet
+ * that issued them, across add/set/merge/clear (clear() zeroes the slots
+ * but does not free them). Handles are NOT rebound by copying or moving
+ * the owning StatSet — they keep referring to the original — so
+ * components that intern handles must not be copied or moved after
+ * construction (all simulator components are constructed in place).
  */
 
 #ifndef GPUSHIELD_COMMON_STATS_H
 #define GPUSHIELD_COMMON_STATS_H
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <ostream>
 #include <string>
@@ -22,6 +46,51 @@ namespace gpushield {
 class StatSet
 {
   public:
+    /**
+     * Interned handle to one counter of one StatSet. Bumping a handle is
+     * a single pointer-indirected add — the event-path replacement for
+     * StatSet::add(name, delta).
+     */
+    class Counter
+    {
+      public:
+        Counter() = default;
+
+        Counter &
+        operator+=(std::uint64_t delta)
+        {
+            *slot_ += delta;
+            return *this;
+        }
+
+        Counter &
+        operator++()
+        {
+            ++*slot_;
+            return *this;
+        }
+
+      private:
+        friend class StatSet;
+        explicit Counter(std::uint64_t *slot) : slot_(slot) {}
+
+        std::uint64_t *slot_ = nullptr;
+    };
+
+    /**
+     * Resolves an interned handle for counter @p name. Call once at
+     * component construction; bump the returned handle on the event
+     * path. Interning alone does not create the counter — it appears in
+     * counters()/dump() only once its value becomes non-zero, exactly
+     * like a counter that add() has never touched.
+     */
+    Counter
+    counter(const std::string &name)
+    {
+        slots_.emplace_back(name, 0);
+        return Counter(&slots_.back().second);
+    }
+
     /** Adds @p delta to counter @p name, creating it at zero if absent. */
     void
     add(const std::string &name, std::uint64_t delta = 1)
@@ -33,6 +102,7 @@ class StatSet
     void
     set(const std::string &name, std::uint64_t value)
     {
+        materialize(); // pending handle deltas are overwritten, not kept
         counters_[name] = value;
     }
 
@@ -40,6 +110,7 @@ class StatSet
     std::uint64_t
     get(const std::string &name) const
     {
+        materialize();
         const auto it = counters_.find(name);
         return it == counters_.end() ? 0 : it->second;
     }
@@ -56,12 +127,19 @@ class StatSet
     void
     merge(const StatSet &other)
     {
+        other.materialize();
         for (const auto &[name, value] : other.counters_)
             counters_[name] += value;
     }
 
-    /** Removes all counters. */
-    void clear() { counters_.clear(); }
+    /** Removes all counters. Interned handles stay valid (zeroed). */
+    void
+    clear()
+    {
+        counters_.clear();
+        for (auto &slot : slots_)
+            slot.second = 0;
+    }
 
     /** Two sets are equal iff they hold the same counters and values.
      *  merge() is associative and commutative under this equality, which
@@ -69,22 +147,43 @@ class StatSet
     friend bool
     operator==(const StatSet &a, const StatSet &b)
     {
+        a.materialize();
+        b.materialize();
         return a.counters_ == b.counters_;
     }
 
     /** Read-only view for iteration / dumping. */
-    const std::map<std::string, std::uint64_t> &counters() const { return counters_; }
+    const std::map<std::string, std::uint64_t> &
+    counters() const
+    {
+        materialize();
+        return counters_;
+    }
 
     /** Writes "name value" lines, sorted by name. */
     void
     dump(std::ostream &os, const std::string &prefix = "") const
     {
-        for (const auto &[name, value] : counters_)
+        for (const auto &[name, value] : counters())
             os << prefix << name << " " << value << "\n";
     }
 
   private:
-    std::map<std::string, std::uint64_t> counters_;
+    /** Folds non-zero interned slots into the string-keyed map. */
+    void
+    materialize() const
+    {
+        for (auto &[name, value] : slots_) {
+            if (value != 0) {
+                counters_[name] += value;
+                value = 0;
+            }
+        }
+    }
+
+    mutable std::map<std::string, std::uint64_t> counters_;
+    /** Interned slots (deque: stable addresses under growth). */
+    mutable std::deque<std::pair<std::string, std::uint64_t>> slots_;
 };
 
 } // namespace gpushield

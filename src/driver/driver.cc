@@ -40,7 +40,11 @@ GpuDevice::rbt_base(KernelId kernel) const
 }
 
 Driver::Driver(GpuDevice &dev, std::uint64_t seed, std::size_t id_space)
-    : dev_(dev), rng_(seed), id_space_(id_space)
+    : dev_(dev), rng_(seed), id_space_(id_space),
+      c_buffers_created_(stats_.counter("buffers_created")),
+      c_launches_(stats_.counter("launches")),
+      c_ids_assigned_(stats_.counter("ids_assigned")),
+      c_device_mallocs_(stats_.counter("device_mallocs"))
 {
     if (id_space_ < 2 || id_space_ > kNumBufferIds)
         fatal("Driver: invalid buffer-ID space size");
@@ -55,6 +59,7 @@ Driver::create_buffer(std::uint64_t size, bool read_only, bool pow2,
              : dev_.global_alloc().alloc(size, read_only, label);
     buffers_.push_back(region);
     buffer_pow2_.push_back(pow2);
+    ++c_buffers_created_;
     return BufferHandle{static_cast<int>(buffers_.size()) - 1};
 }
 
@@ -105,8 +110,10 @@ Driver::assign_unique_id()
     for (int attempts = 0; attempts < 1 << 20; ++attempts) {
         const auto id =
             static_cast<BufferId>(1 + rng_.below(id_space_ - 1));
-        if (used_ids_.insert(id).second)
+        if (used_ids_.insert(id).second) {
+            ++c_ids_assigned_;
             return id;
+        }
     }
     fatal("Driver: buffer ID space exhausted");
 }
@@ -130,6 +137,7 @@ Driver::launch(const LaunchConfig &cfg)
         fatal("Driver::launch: no program");
 
     LaunchState state;
+    ++c_launches_;
     state.kernel_id = next_kernel_id_++;
     state.secret_key = rng_.next64();
     state.ntid = cfg.ntid;
@@ -377,6 +385,7 @@ Driver::device_malloc(LaunchState &state, std::uint64_t bytes)
     if (at + bytes > state.heap_base + state.heap_bytes)
         return 0; // allocation failure, like CUDA malloc returning NULL
     state.heap_cursor = at + bytes;
+    ++c_device_mallocs_;
     // The preassigned heap-region ID is embedded in every heap pointer.
     const std::uint64_t tag_bits =
         state.heap_base_tagged & ~kVAddrMask;

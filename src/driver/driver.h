@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/stats.h"
 #include "common/types.h"
 #include "compiler/bat.h"
 #include "compiler/guard_replace.h"
@@ -188,6 +189,10 @@ class Driver
 
     GpuDevice &device() { return dev_; }
 
+    /** Driver-side activity counters (buffers_created, launches,
+     *  ids_assigned, device_mallocs). */
+    const StatSet &stats() const { return stats_; }
+
   private:
     BufferId assign_unique_id();
     std::uint64_t tagged_arg_pointer(const LaunchState &state,
@@ -201,6 +206,11 @@ class Driver
     std::vector<bool> buffer_pow2_;
     std::unordered_set<std::uint16_t> used_ids_;
     KernelId next_kernel_id_ = 1;
+
+    StatSet stats_;
+    // Interned per-call counters (resolved once; bumped per event).
+    StatSet::Counter c_buffers_created_, c_launches_, c_ids_assigned_,
+        c_device_mallocs_;
 
     static constexpr std::uint8_t kCanaryByte = 0xC3;
 };

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * gpushield-throughput: simulator-throughput microbenchmark.
+ *
+ * Runs a suite single-threaded several times, takes the best wall
+ * time, and reports simulated-cycles/sec and stat-events/sec. The
+ * result is written as one JSON object (BENCH_sim_throughput.json by
+ * default) so CI can track simulator performance over time:
+ *
+ *   gpushield-throughput --suite smoke --reps 5 \
+ *       --json BENCH_sim_throughput.json \
+ *       --baseline-cycles-per-sec 4.2e5
+ *
+ * With --baseline-cycles-per-sec the JSON also records the baseline
+ * and the speedup relative to it.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "harness/executor.h"
+#include "harness/metrics.h"
+#include "harness/suites.h"
+
+namespace {
+
+using namespace gpushield::harness;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "  --suite NAME                  suite to time (default: "
+                 "smoke)\n"
+                 "  --reps N                      repetitions; best wall "
+                 "time wins (default: 3)\n"
+                 "  --json PATH                   result file (default: "
+                 "BENCH_sim_throughput.json)\n"
+                 "  --baseline-cycles-per-sec X   reference for the "
+                 "speedup field\n",
+                 argv0);
+    return 2;
+}
+
+/** Sum of every counter value in @p s. */
+std::uint64_t
+stat_events(const gpushield::StatSet &s)
+{
+    std::uint64_t total = 0;
+    for (const auto &[name, value] : s.counters())
+        total += value;
+    return total;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string suite_name = "smoke";
+    std::string json_path = "BENCH_sim_throughput.json";
+    unsigned reps = 3;
+    double baseline = 0.0;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char * {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "gpushield-throughput: %s needs a value\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--suite")
+            suite_name = value();
+        else if (arg == "--reps")
+            reps = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--json")
+            json_path = value();
+        else if (arg == "--baseline-cycles-per-sec")
+            baseline = std::strtod(value(), nullptr);
+        else
+            return usage(argv[0]);
+    }
+    if (reps == 0)
+        reps = 1;
+
+    const SuiteDef *suite = find_suite(suite_name);
+    if (suite == nullptr) {
+        std::fprintf(stderr, "gpushield-throughput: unknown suite %s\n",
+                     suite_name.c_str());
+        return 2;
+    }
+
+    const SweepSpec spec = suite->make();
+    SweepOptions opts;
+    opts.jobs = 1; // single-threaded: measure the simulator, not the pool
+    opts.progress = nullptr;
+
+    double best_wall = 0.0;
+    std::uint64_t sim_cycles = 0;
+    std::uint64_t events = 0;
+    std::size_t cells = 0;
+    bool all_ok = true;
+
+    for (unsigned rep = 0; rep < reps; ++rep) {
+        const SweepResult result = run_sweep(spec, opts);
+        all_ok = all_ok && result.all_ok();
+        if (rep == 0 || result.wall_seconds < best_wall)
+            best_wall = result.wall_seconds;
+        if (rep == 0) {
+            // Simulation is deterministic: totals are rep-invariant.
+            cells = result.metrics.records().size();
+            for (const RunRecord &r : result.metrics.records()) {
+                sim_cycles += r.cycles;
+                events += stat_events(r.rcache) + stat_events(r.bcu) +
+                          stat_events(r.mem) + stat_events(r.kernel);
+            }
+        }
+        std::fprintf(stderr, "rep %u/%u: %.4f s\n", rep + 1, reps,
+                     result.wall_seconds);
+    }
+
+    const double cycles_per_sec =
+        best_wall > 0.0 ? static_cast<double>(sim_cycles) / best_wall : 0.0;
+    const double events_per_sec =
+        best_wall > 0.0 ? static_cast<double>(events) / best_wall : 0.0;
+
+    std::ostringstream json;
+    json << "{\"suite\":\"" << json_escape(suite_name) << "\""
+         << ",\"reps\":" << reps << ",\"jobs\":1"
+         << ",\"cells\":" << cells << ",\"all_ok\":"
+         << (all_ok ? "true" : "false")
+         << ",\"sim_cycles\":" << sim_cycles << ",\"events\":" << events
+         << ",\"best_wall_seconds\":" << fmt(best_wall, 6)
+         << ",\"cycles_per_sec\":" << fmt(cycles_per_sec, 1)
+         << ",\"events_per_sec\":" << fmt(events_per_sec, 1);
+    if (baseline > 0.0) {
+        json << ",\"baseline_cycles_per_sec\":" << fmt(baseline, 1)
+             << ",\"speedup\":" << fmt(cycles_per_sec / baseline, 3);
+    }
+    json << "}";
+
+    std::ofstream out(json_path);
+    if (!out.is_open()) {
+        std::fprintf(stderr, "gpushield-throughput: cannot open %s\n",
+                     json_path.c_str());
+        return 2;
+    }
+    out << json.str() << "\n";
+
+    std::printf("%s\n", json.str().c_str());
+    std::printf("suite %s: %zu cells, %llu sim cycles, %llu events, "
+                "best of %u reps %.4f s -> %.3e cycles/s, %.3e events/s\n",
+                suite_name.c_str(), cells,
+                static_cast<unsigned long long>(sim_cycles),
+                static_cast<unsigned long long>(events), reps, best_wall,
+                cycles_per_sec, events_per_sec);
+    if (baseline > 0.0)
+        std::printf("speedup vs baseline %.3e: %.2fx\n", baseline,
+                    cycles_per_sec / baseline);
+    return all_ok ? 0 : 1;
+}

@@ -6,7 +6,12 @@
 namespace gpushield {
 
 Cache::Cache(const CacheConfig &cfg)
-    : cfg_(cfg)
+    : cfg_(cfg),
+      c_accesses_(stats_.counter("accesses")),
+      c_writes_(stats_.counter("writes")),
+      c_hits_(stats_.counter("hits")),
+      c_misses_(stats_.counter("misses")),
+      c_writebacks_(stats_.counter("writebacks"))
 {
     if (!is_pow2(cfg.line_size))
         fatal("Cache " + cfg.name + ": line size must be a power of two");
@@ -37,9 +42,9 @@ CacheAccessResult
 Cache::access(std::uint64_t addr, bool is_write)
 {
     CacheAccessResult result;
-    stats_.add("accesses");
+    ++c_accesses_;
     if (is_write)
-        stats_.add("writes");
+        ++c_writes_;
 
     const std::uint64_t set = set_index(addr);
     const std::uint64_t tag = tag_of(addr);
@@ -51,7 +56,7 @@ Cache::access(std::uint64_t addr, bool is_write)
         if (line.valid && line.tag == tag) {
             line.lru = ++stamp_;
             line.dirty |= is_write;
-            stats_.add("hits");
+            ++c_hits_;
             result.hit = true;
             return result;
         }
@@ -61,9 +66,9 @@ Cache::access(std::uint64_t addr, bool is_write)
             victim = &line;
     }
 
-    stats_.add("misses");
+    ++c_misses_;
     if (victim->valid && victim->dirty) {
-        stats_.add("writebacks");
+        ++c_writebacks_;
         result.evicted_dirty = true;
         result.evicted_tag_addr =
             (victim->tag * num_sets_ + set) * cfg_.line_size;

@@ -89,6 +89,9 @@ class Cache
     std::vector<Line> lines_; //!< num_sets_ * assoc, set-major
     std::uint64_t stamp_ = 0;
     StatSet stats_;
+    // Interned per-access counters (resolved once; bumped per event).
+    StatSet::Counter c_accesses_, c_writes_, c_hits_, c_misses_,
+        c_writebacks_;
 };
 
 } // namespace gpushield

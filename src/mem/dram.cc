@@ -5,7 +5,11 @@
 namespace gpushield {
 
 Dram::Dram(EventQueue &eq, const DramConfig &cfg)
-    : eq_(eq), cfg_(cfg), channels_(cfg.channels)
+    : eq_(eq), cfg_(cfg), channels_(cfg.channels),
+      c_requests_(stats_.counter("requests")),
+      c_queue_full_(stats_.counter("queue_full")),
+      c_row_hits_(stats_.counter("row_hits")),
+      c_row_misses_(stats_.counter("row_misses"))
 {
     for (Channel &ch : channels_)
         ch.open_row.assign(cfg_.banks_per_channel, ~std::uint64_t{0});
@@ -31,18 +35,24 @@ Dram::row_of(PAddr paddr) const
     return paddr / cfg_.row_bytes / cfg_.banks_per_channel;
 }
 
-void
-Dram::enqueue(PAddr paddr, bool is_write, Callback done)
+bool
+Dram::enqueue(PAddr paddr, bool is_write, Callback &&done)
 {
     const unsigned ch_idx = channel_of(paddr);
     Channel &ch = channels_[ch_idx];
-    stats_.add("requests");
-    if (ch.queue.size() >= cfg_.queue_capacity)
-        stats_.add("queue_full");
-
+    // The request being serviced still occupies its queue slot until the
+    // data burst completes, so it counts against the capacity.
+    if (ch.queue.size() + (ch.busy ? 1u : 0u) >= cfg_.queue_capacity) {
+        // Back-pressure: reject without consuming the callback; the
+        // caller retries on a later cycle.
+        ++c_queue_full_;
+        return false;
+    }
+    ++c_requests_;
     ch.queue.push_back(Request{paddr, is_write, next_seq_++, std::move(done)});
     if (!ch.busy)
         service_next(ch_idx);
+    return true;
 }
 
 void
@@ -75,7 +85,10 @@ Dram::service_next(unsigned ch_idx)
     const std::uint64_t row = row_of(req.paddr);
     const bool row_hit = ch.open_row[bank] == row;
     ch.open_row[bank] = row;
-    stats_.add(row_hit ? "row_hits" : "row_misses");
+    if (row_hit)
+        ++c_row_hits_;
+    else
+        ++c_row_misses_;
 
     const Cycle access = row_hit ? cfg_.row_hit_latency : cfg_.row_miss_latency;
     const Cycle total = access + cfg_.burst_cycles;

@@ -44,11 +44,15 @@ class Dram
 
     /**
      * Enqueues a request for the line at @p paddr. @p done runs when the
-     * data transfer completes. If the channel queue is full the request
-     * is still accepted but charged an extra full-service delay,
-     * approximating back-pressure.
+     * data transfer completes.
+     *
+     * @return true when the request was accepted. When the channel queue
+     *         is at capacity the request is REJECTED (back-pressure): the
+     *         `queue_full` stat is bumped, @p done is left untouched, and
+     *         the caller must retry on a later cycle (see
+     *         MemoryHierarchy::enqueue_dram).
      */
-    void enqueue(PAddr paddr, bool is_write, Callback done);
+    [[nodiscard]] bool enqueue(PAddr paddr, bool is_write, Callback &&done);
 
     /** True when all channels are idle with empty queues. */
     bool idle() const;
@@ -84,6 +88,8 @@ class Dram
     std::vector<Channel> channels_;
     std::uint64_t next_seq_ = 0;
     StatSet stats_;
+    // Interned per-request counters (resolved once; bumped per event).
+    StatSet::Counter c_requests_, c_queue_full_, c_row_hits_, c_row_misses_;
 };
 
 } // namespace gpushield

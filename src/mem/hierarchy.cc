@@ -9,7 +9,12 @@ MemoryHierarchy::MemoryHierarchy(EventQueue &eq, PageTable &pt,
     : eq_(eq), pt_(pt), cfg_(cfg),
       l2_cache_(cfg.l2),
       l2_tlb_(cfg.l2_tlb_entries, cfg.l2_tlb_assoc, cfg.page_size, "l2tlb"),
-      dram_(eq, cfg.dram)
+      dram_(eq, cfg.dram),
+      c_faults_(stats_.counter("faults")),
+      c_page_walks_(stats_.counter("page_walks")),
+      c_dram_reads_(stats_.counter("dram_reads")),
+      c_physical_accesses_(stats_.counter("physical_accesses")),
+      c_dram_retries_(stats_.counter("dram_retries"))
 {
     l1_.reserve(num_cores);
     l1_tlb_.reserve(num_cores);
@@ -33,7 +38,7 @@ MemoryHierarchy::access(CoreId core, VAddr vaddr, bool is_write, Callback done)
     if (!xlat.ok) {
         issue.translation_fault = !xlat.permission_fault;
         issue.permission_fault = xlat.permission_fault;
-        stats_.add("faults");
+        ++c_faults_;
         return issue;
     }
     issue.paddr = xlat.paddr;
@@ -46,7 +51,7 @@ MemoryHierarchy::access(CoreId core, VAddr vaddr, bool is_write, Callback done)
             tlb_delay = cfg_.l2_tlb_latency;
         } else {
             tlb_delay = cfg_.page_walk_latency;
-            stats_.add("page_walks");
+            ++c_page_walks_;
         }
     }
 
@@ -61,7 +66,7 @@ MemoryHierarchy::access(CoreId core, VAddr vaddr, bool is_write, Callback done)
     // L1 miss: check the shared L2 after the L2 access latency.
     const auto l2_res = l2_cache_.access(xlat.paddr, is_write);
     if (l2_res.evicted_dirty)
-        dram_.enqueue(l2_res.evicted_tag_addr, /*is_write=*/true, nullptr);
+        enqueue_dram(l2_res.evicted_tag_addr, /*is_write=*/true, nullptr);
 
     const Cycle to_l2 = tlb_delay + cfg_.l1_latency + cfg_.l2_latency;
     if (l2_res.hit) {
@@ -70,12 +75,26 @@ MemoryHierarchy::access(CoreId core, VAddr vaddr, bool is_write, Callback done)
     }
 
     // L2 miss: DRAM round trip starting after the L2 lookup.
-    stats_.add("dram_reads");
+    ++c_dram_reads_;
     eq_.schedule_in(to_l2, [this, paddr = xlat.paddr, is_write,
                             done = std::move(done)]() mutable {
-        dram_.enqueue(paddr, is_write, std::move(done));
+        enqueue_dram(paddr, is_write, std::move(done));
     });
     return issue;
+}
+
+void
+MemoryHierarchy::enqueue_dram(PAddr paddr, bool is_write, Callback done)
+{
+    if (dram_.enqueue(paddr, is_write, std::move(done)))
+        return;
+    // Channel queue full: Dram::enqueue rejected without consuming the
+    // callback; retry next cycle until a slot frees up.
+    ++c_dram_retries_;
+    eq_.schedule_in(1, [this, paddr, is_write,
+                        done = std::move(done)]() mutable {
+        enqueue_dram(paddr, is_write, std::move(done));
+    });
 }
 
 void
@@ -83,14 +102,14 @@ MemoryHierarchy::access_physical(PAddr paddr, Callback done)
 {
     const PAddr line_addr = align_down(paddr, cfg_.l2.line_size);
     const auto l2_res = l2_cache_.access(line_addr, /*is_write=*/false);
-    stats_.add("physical_accesses");
+    ++c_physical_accesses_;
     if (l2_res.hit) {
         eq_.schedule_in(cfg_.l2_latency, std::move(done));
         return;
     }
     eq_.schedule_in(cfg_.l2_latency, [this, line_addr,
                                       done = std::move(done)]() mutable {
-        dram_.enqueue(line_addr, /*is_write=*/false, std::move(done));
+        enqueue_dram(line_addr, /*is_write=*/false, std::move(done));
     });
 }
 

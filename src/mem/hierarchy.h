@@ -81,6 +81,13 @@ class MemoryHierarchy
     /** Flushes per-core L1 state (kernel termination / context switch). */
     void flush_core(CoreId core);
 
+    /**
+     * Hands a request to the DRAM controller, honouring back-pressure:
+     * when the channel queue is full the request is retried every cycle
+     * until accepted (`dram_retries` counts the re-enqueue attempts).
+     */
+    void enqueue_dram(PAddr paddr, bool is_write, Callback done);
+
     const MemHierConfig &config() const { return cfg_; }
     Cache &l1(CoreId core) { return *l1_[core]; }
     Tlb &l1_tlb(CoreId core) { return *l1_tlb_[core]; }
@@ -99,6 +106,9 @@ class MemoryHierarchy
     Tlb l2_tlb_;
     Dram dram_;
     StatSet stats_;
+    // Interned per-access counters (resolved once; bumped per event).
+    StatSet::Counter c_faults_, c_page_walks_, c_dram_reads_,
+        c_physical_accesses_, c_dram_retries_;
 };
 
 } // namespace gpushield

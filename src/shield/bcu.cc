@@ -9,7 +9,15 @@
 namespace gpushield {
 
 BoundsCheckUnit::BoundsCheckUnit(const RCacheConfig &cfg, Cycle pipeline_slack)
-    : rcache_(cfg), pipeline_slack_(pipeline_slack)
+    : rcache_(cfg), pipeline_slack_(pipeline_slack),
+      c_checks_(stats_.counter("checks")),
+      c_bt_checks_(stats_.counter("bt_checks")),
+      c_type2_checks_(stats_.counter("type2_checks")),
+      c_type3_checks_(stats_.counter("type3_checks")),
+      c_skipped_unprotected_(stats_.counter("skipped_unprotected")),
+      c_guard_suppressed_(stats_.counter("guard_suppressed")),
+      c_violations_(stats_.counter("violations")),
+      c_stall_cycles_(stats_.counter("stall_cycles"))
 {
 }
 
@@ -27,8 +35,9 @@ void
 BoundsCheckUnit::deregister_kernel(KernelId kernel)
 {
     kernels_.erase(kernel);
-    // §5.5: RCaches are flushed upon kernel termination / context switch.
-    rcache_.flush();
+    // §5.5: only the terminating kernel's RCache state is dropped;
+    // concurrently-resident kernels keep their cached bounds (§6.2).
+    rcache_.invalidate_kernel(kernel);
 }
 
 void
@@ -37,7 +46,7 @@ BoundsCheckUnit::log(const BcuRequest &req, ViolationKind kind)
     if (req.silent) {
         // §6.4 guard replacement: the squash is expected behaviour of
         // the removed software guard, not an error.
-        stats_.add("guard_suppressed");
+        ++c_guard_suppressed_;
         return;
     }
     Violation v;
@@ -50,7 +59,7 @@ BoundsCheckUnit::log(const BcuRequest &req, ViolationKind kind)
     v.max_end = req.max_end;
     v.kind = kind;
     violations_.push_back(v);
-    stats_.add("violations");
+    ++c_violations_;
 }
 
 Cycle
@@ -78,8 +87,8 @@ BoundsCheckUnit::check(const BcuRequest &req)
     if (req.has_bt_bounds) {
         // Method A: compare against the binding-table entry directly.
         resp.checked = true;
-        stats_.add("checks");
-        stats_.add("bt_checks");
+        ++c_checks_;
+        ++c_bt_checks_;
         const Bounds &b = req.bt_bounds;
         if (req.is_store && b.read_only) {
             resp.violation = true;
@@ -99,17 +108,17 @@ BoundsCheckUnit::check(const BcuRequest &req)
     const PtrClass cls = ptr_class(req.pointer);
 
     if (cls == PtrClass::Unprotected) {
-        stats_.add("skipped_unprotected");
+        ++c_skipped_unprotected_;
         return resp;
     }
 
     resp.checked = true;
-    stats_.add("checks");
+    ++c_checks_;
 
     if (cls == PtrClass::SizedWindow) {
         // Type 3: compare offsets against the embedded power-of-two
         // window; no RCache access (§5.3.3).
-        stats_.add("type3_checks");
+        ++c_type3_checks_;
         const std::uint64_t window = std::uint64_t{1} << ptr_field(req.pointer);
         bool oob;
         if (req.has_base_offset) {
@@ -137,7 +146,7 @@ BoundsCheckUnit::check(const BcuRequest &req)
     }
 
     // Type 2: decrypt the ID and consult the RCache hierarchy.
-    stats_.add("type2_checks");
+    ++c_type2_checks_;
     const auto it = kernels_.find(req.kernel);
     if (it == kernels_.end())
         panic("BCU: check for unregistered kernel");
@@ -193,7 +202,7 @@ BoundsCheckUnit::check(const BcuRequest &req)
 
     resp.stall_cycles = exposed_stall(req, check_latency);
     if (resp.stall_cycles > 0)
-        stats_.add("stall_cycles", resp.stall_cycles);
+        c_stall_cycles_ += resp.stall_cycles;
     return resp;
 }
 

@@ -134,7 +134,8 @@ class BoundsCheckUnit
     void register_kernel(KernelId kernel, std::uint64_t key,
                          const RegionBoundsTable *rbt);
 
-    /** Removes a kernel and flushes the RCaches (kernel termination). */
+    /** Removes a kernel and invalidates its RCache entries (kernel
+     *  termination; co-resident kernels keep theirs, §6.2). */
     void deregister_kernel(KernelId kernel);
 
     /** Performs the bounds check for one memory instruction. */
@@ -165,6 +166,10 @@ class BoundsCheckUnit
     std::unordered_map<KernelId, KernelState> kernels_;
     std::vector<Violation> violations_;
     StatSet stats_;
+    // Interned per-check counters (resolved once; bumped per event).
+    StatSet::Counter c_checks_, c_bt_checks_, c_type2_checks_,
+        c_type3_checks_, c_skipped_unprotected_, c_guard_suppressed_,
+        c_violations_, c_stall_cycles_;
 };
 
 } // namespace gpushield

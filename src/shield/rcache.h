@@ -6,8 +6,9 @@
  * 4-entry FIFO L1 with parallel tag/data lookup, and a 64-entry fully
  * associative L2 split into tag and data arrays. Entries are matched on
  * (kernel ID, buffer ID) so concurrently resident kernels can share a
- * core (§6.2). RCaches are flushed on kernel termination and context
- * switches.
+ * core (§6.2). Kernel termination invalidates only the terminating
+ * kernel's entries (co-resident kernels keep their cached bounds);
+ * context switches flush everything.
  */
 
 #ifndef GPUSHIELD_SHIELD_RCACHE_H
@@ -64,8 +65,14 @@ class RCache
     /** Inserts a refilled RBT entry (L2 + L1). */
     void fill(KernelId kernel, BufferId id, const Bounds &bounds);
 
-    /** Drops everything (kernel termination / context switch, §5.5). */
+    /** Drops everything (context switch, §5.5). */
     void flush();
+
+    /**
+     * Drops only @p kernel's entries (kernel termination, §5.5) so
+     * concurrently-resident kernels keep their cached bounds (§6.2).
+     */
+    void invalidate_kernel(KernelId kernel);
 
     const RCacheConfig &config() const { return cfg_; }
     const StatSet &stats() const { return stats_; }
@@ -84,13 +91,16 @@ class RCache
         KernelId kernel = 0;
         BufferId id = 0;
         Bounds bounds;
-        std::uint64_t stamp = 0; //!< FIFO order (L1) / LRU stamp (L2)
+        std::uint64_t stamp = 0; //!< insertion order (L1) / LRU stamp (L2)
     };
 
     struct Bank
     {
         std::vector<Entry> l1;
         std::vector<Entry> l2;
+        /** L1 insertion-order clock (FIFO; separate from the LRU clock
+         *  so hits can never refresh an L1 entry's age). */
+        std::uint64_t l1_fifo_stamp = 0;
     };
 
     Bank &bank_for(KernelId kernel);
@@ -102,8 +112,11 @@ class RCache
 
     RCacheConfig cfg_;
     std::vector<Bank> banks_;
-    std::uint64_t stamp_ = 0;
+    std::uint64_t lru_stamp_ = 0; //!< L2 LRU clock
     StatSet stats_;
+    // Interned per-lookup counters (resolved once; bumped per event).
+    StatSet::Counter c_lookups_, c_l1_hits_, c_l1_misses_, c_l2_hits_,
+        c_l2_misses_, c_l1_evictions_, c_l2_evictions_, c_refills_;
 };
 
 } // namespace gpushield

@@ -13,7 +13,10 @@ Core::Core(CoreId id, const GpuConfig &cfg, EventQueue &eq,
            MemoryHierarchy &hier)
     : id_(id), cfg_(cfg), eq_(eq), hier_(hier),
       bcu_(cfg.rcache, cfg.lsu_pipeline_slack),
-      slots_(cfg.max_workgroups_per_core)
+      slots_(cfg.max_workgroups_per_core),
+      c_issued_(stats_.counter("issued")),
+      c_workgroups_started_(stats_.counter("workgroups_started")),
+      c_workgroups_finished_(stats_.counter("workgroups_finished"))
 {
 }
 
@@ -50,6 +53,32 @@ unsigned
 Core::live_warps(const WorkgroupCtx &wg) const
 {
     return static_cast<unsigned>(wg.warps.size()) - wg.warps_finished;
+}
+
+void
+Core::note_ready(Cycle c)
+{
+    if (c < ready_hint_)
+        ready_hint_ = c;
+}
+
+void
+Core::recompute_ready_hint(Cycle now)
+{
+    // Exact minimum over Ready warps; Blocked/AtBarrier warps lower the
+    // hint through note_ready() when they transition. A Ready warp that
+    // could not issue this cycle (busy LSU) must be retried next cycle.
+    Cycle next = ~Cycle{0};
+    for (const WorkgroupCtx &wg : slots_) {
+        if (!wg.live)
+            continue;
+        for (const WarpState &warp : wg.warps) {
+            if (warp.status != WarpStatus::Ready)
+                continue;
+            next = std::min(next, std::max(warp.ready_cycle, now + 1));
+        }
+    }
+    ready_hint_ = next;
 }
 
 bool
@@ -109,13 +138,14 @@ Core::start_workgroup(KernelExec *kernel, std::uint32_t wg_index)
     }
     wg.shared_mem.assign(prog.shared_bytes, 0);
 
+    note_ready(eq_.now());
     warps_in_use_ += warps;
     ++live_workgroups_;
     if (!kernel->started) {
         kernel->started = true;
         kernel->start_cycle = eq_.now();
     }
-    stats_.add("workgroups_started");
+    ++c_workgroups_started_;
 }
 
 bool
@@ -128,6 +158,8 @@ Core::tick()
     const Cycle now = eq_.now();
     if (now < issue_busy_until_)
         return true;
+    if (now < ready_hint_)
+        return true; // no warp can issue before the hint cycle
 
     unsigned issued = 0;
     // Greedy-then-oldest: re-issue from the last warp first, then scan
@@ -175,6 +207,7 @@ Core::tick()
         if (!progressed)
             break;
     }
+    recompute_ready_hint(now);
     return true;
 }
 
@@ -195,8 +228,8 @@ Core::issue_one(WorkgroupCtx &wg, WarpState &warp)
     const int issue_pc = warp.pc;
     const StepResult result =
         kernel->interp->step(warp, wg.shared_mem);
-    kernel->stats.add("instructions");
-    stats_.add("issued");
+    ++kernel->hot.instructions;
+    ++c_issued_;
 
     if (observer_ != nullptr) {
         observer_->on_issue(
@@ -213,13 +246,13 @@ Core::issue_one(WorkgroupCtx &wg, WarpState &warp)
         warp.ready_cycle = now + cfg_.sfu_latency;
         break;
       case StepKind::SharedMem:
-        kernel->stats.add("shared_accesses");
+        ++kernel->hot.shared_accesses;
         warp.ready_cycle = now + cfg_.shared_latency;
         break;
       case StepKind::Malloc: {
         // Device-side malloc serializes allocator metadata updates
         // across the whole GPU (footnote 2's contention).
-        kernel->stats.add("mallocs", result.malloc_count);
+        kernel->hot.mallocs += result.malloc_count;
         kernel->malloc_busy_until =
             std::max(kernel->malloc_busy_until, now) +
             static_cast<Cycle>(result.malloc_count) *
@@ -268,7 +301,7 @@ Core::finish_warp(WorkgroupCtx &wg)
     warps_in_use_ -= static_cast<unsigned>(wg.warps.size());
     KernelExec *kernel = wg.kernel;
     ++kernel->wgs_done;
-    stats_.add("workgroups_finished");
+    ++c_workgroups_finished_;
     if (kernel->wgs_done >= kernel->total_wgs() && !kernel->done) {
         kernel->done = true;
         kernel->end_cycle = eq_.now();
@@ -292,10 +325,14 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
     const Cycle now = eq_.now();
     KernelExec *kernel = wg.kernel;
     LaunchState &launch = *kernel->launch;
-    kernel->stats.add(op.is_store ? "stores" : "loads");
+    if (op.is_store)
+        ++kernel->hot.stores;
+    else
+        ++kernel->hot.loads;
 
-    const std::vector<VAddr> lines = coalesce(op, cfg_.mem.l1.line_size);
-    kernel->stats.add("transactions", lines.size());
+    coalesce_into(op, cfg_.mem.l1.line_size, lines_scratch_);
+    const std::vector<VAddr> &lines = lines_scratch_;
+    kernel->hot.transactions += lines.size();
 
     // Software-tool instrumentation (baseline models) occupies issue
     // slots and adds shadow-metadata traffic.
@@ -303,8 +340,8 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         issue_busy_until_ =
             std::max(issue_busy_until_, now) +
             kernel->instr_extra_cycles_per_mem;
-        kernel->stats.add("instr_overhead_cycles",
-                          kernel->instr_extra_cycles_per_mem);
+        kernel->hot.instr_overhead_cycles +=
+            kernel->instr_extra_cycles_per_mem;
     }
 
     // Track load completion across all transactions. The workgroup
@@ -318,6 +355,7 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         if (--*remaining == 0 && !alive.expired()) {
             warp_ptr->status = WarpStatus::Ready;
             warp_ptr->ready_cycle = eq_.now();
+            note_ready(warp_ptr->ready_cycle);
         }
     };
 
@@ -329,7 +367,7 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
     const bool dcache_probe_hit =
         !lines.empty() && hier_.l1(id_).probe(lines.front());
     if (shield && op.instr->check == CheckMode::StaticSafe) {
-        kernel->stats.add("checks_elided");
+        ++kernel->hot.checks_elided;
     } else if (shield &&
                (op.has_bt ||
                 ptr_class(op.pointer) != PtrClass::Unprotected)) {
@@ -352,7 +390,7 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         req.silent = op.instr->check == CheckMode::GuardReplaced;
 
         const BcuResponse resp = bcu_.check(req);
-        kernel->stats.add("checks");
+        ++kernel->hot.checks;
         if (resp.stall_cycles > 0) {
             // Exposed pipeline bubble: the LSU (and issue stage behind
             // it) stalls.
@@ -360,10 +398,10 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
                 std::max(issue_busy_until_, now + resp.stall_cycles);
             lsu_busy_until_ =
                 std::max(lsu_busy_until_, now + resp.stall_cycles);
-            kernel->stats.add("bcu_stall_cycles", resp.stall_cycles);
+            kernel->hot.bcu_stall_cycles += resp.stall_cycles;
         }
         if (resp.refill) {
-            kernel->stats.add("rbt_refills");
+            ++kernel->hot.rbt_refills;
             if (is_load) {
                 ++*remaining;
                 hier_.access_physical(resp.refill_paddr, on_done);
@@ -389,7 +427,7 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
                 suppress_mask = op.mask;
             }
             if (!req.silent) {
-                kernel->stats.add("violations");
+                ++kernel->hot.violations;
                 if (cfg_.precise_exceptions) {
                     // §5.5.2: precise-exception GPUs raise a fault at
                     // the offending instruction instead of logging.
@@ -397,25 +435,28 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
                     return;
                 }
             } else {
-                kernel->stats.add("guard_suppressed_lanes",
-                                  std::popcount(suppress_mask));
+                kernel->hot.guard_suppressed_lanes +=
+                    static_cast<std::uint64_t>(
+                        std::popcount(suppress_mask));
             }
         }
     } else if (shield) {
-        kernel->stats.add("checks_skipped_unprotected");
+        ++kernel->hot.checks_skipped_unprotected;
     }
 
     // --- Memory traffic (squashed entirely when every lane faults;
     // partially-squashed warps only fetch the surviving lanes' lines) -
     const bool fully_suppressed = suppress_mask == op.mask;
-    std::vector<VAddr> live_lines = lines;
+    const std::vector<VAddr> *live_lines = &lines;
     if (suppress_mask != 0 && !fully_suppressed) {
         MemOp surviving = op;
         surviving.mask = op.mask & ~suppress_mask;
-        live_lines = coalesce(surviving, cfg_.mem.l1.line_size);
+        coalesce_into(surviving, cfg_.mem.l1.line_size,
+                      live_lines_scratch_);
+        live_lines = &live_lines_scratch_;
     }
     if (!fully_suppressed) {
-        for (const VAddr line : live_lines) {
+        for (const VAddr line : *live_lines) {
             const AccessIssue issue = hier_.access(
                 id_, line, op.is_store,
                 is_load ? MemoryHierarchy::Callback(on_done)
@@ -431,9 +472,9 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         // pages are tool-managed and physically addressed here.
         for (unsigned x = 0; x < kernel->instr_extra_transactions; ++x) {
             const PAddr shadow = 0x0000'F000'0000ull +
-                                 (live_lines.empty()
+                                 (live_lines->empty()
                                       ? op.min_addr % 4096
-                                      : live_lines.front() % 4096) +
+                                      : live_lines->front() % 4096) +
                                  static_cast<PAddr>(x) * kLineSize;
             hier_.access_physical(shadow, [] {});
         }

@@ -53,6 +53,35 @@ struct KernelExec
 
     StatSet stats;
 
+    /** Interned handles into @ref stats for every per-instruction
+     *  counter (resolved once at construction; bumped per event).
+     *  Rare events (e.g. translation_faults) stay string-keyed. */
+    struct HotCounters
+    {
+        explicit HotCounters(StatSet &s)
+            : instructions(s.counter("instructions")),
+              loads(s.counter("loads")), stores(s.counter("stores")),
+              transactions(s.counter("transactions")),
+              shared_accesses(s.counter("shared_accesses")),
+              mallocs(s.counter("mallocs")), checks(s.counter("checks")),
+              checks_elided(s.counter("checks_elided")),
+              checks_skipped_unprotected(
+                  s.counter("checks_skipped_unprotected")),
+              bcu_stall_cycles(s.counter("bcu_stall_cycles")),
+              rbt_refills(s.counter("rbt_refills")),
+              violations(s.counter("violations")),
+              guard_suppressed_lanes(s.counter("guard_suppressed_lanes")),
+              instr_overhead_cycles(s.counter("instr_overhead_cycles"))
+        {
+        }
+
+        StatSet::Counter instructions, loads, stores, transactions,
+            shared_accesses, mallocs, checks, checks_elided,
+            checks_skipped_unprotected, bcu_stall_cycles, rbt_refills,
+            violations, guard_suppressed_lanes, instr_overhead_cycles;
+    };
+    HotCounters hot{stats};
+
     std::uint32_t total_wgs() const { return launch->nctaid; }
 };
 
@@ -101,6 +130,10 @@ class Core
     };
 
     bool try_dispatch();
+    /** Lowers the ready hint: some warp may issue at cycle @p c. */
+    void note_ready(Cycle c);
+    /** Recomputes the ready hint exactly from current warp states. */
+    void recompute_ready_hint(Cycle now);
     void start_workgroup(KernelExec *kernel, std::uint32_t wg_index);
     bool issue_one(WorkgroupCtx &wg, WarpState &warp);
     void handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op);
@@ -128,7 +161,24 @@ class Core
     int greedy_slot_ = -1;       //!< GTO: last-issued warp first
     int greedy_warp_ = -1;
 
+    /**
+     * Lower bound on the next cycle at which any resident warp could
+     * issue. tick() skips the warp scan while now is below it; every
+     * warp state transition lowers it via note_ready(), and a scanning
+     * tick recomputes it exactly. A stale-low hint only costs an extra
+     * scan, never changes behaviour.
+     */
+    Cycle ready_hint_ = 0;
+
     StatSet stats_;
+    StatSet::Counter c_issued_, c_workgroups_started_,
+        c_workgroups_finished_;
+
+    /** Reusable coalesce outputs so handle_mem allocates nothing in
+     *  steady state (one for the full warp, one for the re-coalesce of
+     *  surviving lanes after a partial squash). */
+    std::vector<VAddr> lines_scratch_;
+    std::vector<VAddr> live_lines_scratch_;
 };
 
 } // namespace gpushield

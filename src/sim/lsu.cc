@@ -6,11 +6,11 @@
 
 namespace gpushield {
 
-std::vector<VAddr>
-coalesce(const MemOp &op, std::uint64_t line_size)
+void
+coalesce_into(const MemOp &op, std::uint64_t line_size,
+              std::vector<VAddr> &lines)
 {
-    std::vector<VAddr> lines;
-    lines.reserve(4);
+    lines.clear();
     for (unsigned lane = 0; lane < kWarpSize; ++lane) {
         if (((op.mask >> lane) & 1) == 0)
             continue;
@@ -23,6 +23,14 @@ coalesce(const MemOp &op, std::uint64_t line_size)
     }
     std::sort(lines.begin(), lines.end());
     lines.erase(std::unique(lines.begin(), lines.end()), lines.end());
+}
+
+std::vector<VAddr>
+coalesce(const MemOp &op, std::uint64_t line_size)
+{
+    std::vector<VAddr> lines;
+    lines.reserve(4);
+    coalesce_into(op, line_size, lines);
     return lines;
 }
 

@@ -172,6 +172,71 @@ TEST(Stats, MergeIsCommutativeAndAssociative)
     }
 }
 
+TEST(Stats, InternedHandlesMatchStringKeys)
+{
+    // The hot-path Counter handles must be observationally identical to
+    // string-keyed add(): same get()/dump()/==, merge-compatible.
+    StatSet via_handles, via_strings;
+    StatSet::Counter hits = via_handles.counter("hits");
+    StatSet::Counter misses = via_handles.counter("misses");
+
+    for (int i = 0; i < 7; ++i)
+        ++hits;
+    misses += 3;
+    hits += 5;
+
+    via_strings.add("hits", 7);
+    via_strings.add("misses", 3);
+    via_strings.add("hits", 5);
+
+    EXPECT_EQ(via_handles.get("hits"), 12u);
+    EXPECT_EQ(via_handles.get("misses"), 3u);
+    EXPECT_TRUE(via_handles == via_strings);
+
+    std::ostringstream oh, os;
+    via_handles.dump(oh, "p.");
+    via_strings.dump(os, "p.");
+    EXPECT_EQ(oh.str(), os.str());
+}
+
+TEST(Stats, UntouchedHandlesStayInvisible)
+{
+    // Interning a counter must not make it appear in output until it is
+    // actually bumped (or set()): sweep JSONL records rely on untouched
+    // stats serializing as an empty object.
+    StatSet s;
+    StatSet::Counter idle = s.counter("idle");
+    EXPECT_TRUE(s.counters().empty());
+    EXPECT_EQ(s.get("idle"), 0u);
+    EXPECT_TRUE(s.counters().empty());
+
+    ++idle;
+    EXPECT_EQ(s.get("idle"), 1u);
+    ASSERT_EQ(s.counters().size(), 1u);
+
+    // clear() resets but keeps the handle usable.
+    s.clear();
+    EXPECT_TRUE(s.counters().empty());
+    ++idle;
+    EXPECT_EQ(s.get("idle"), 1u);
+}
+
+TEST(Stats, HandleAndStringUpdatesCombine)
+{
+    // Mixed use on the same name accumulates into one counter, and
+    // merge() sees the combined value.
+    StatSet s;
+    StatSet::Counter c = s.counter("n");
+    c += 2;
+    s.add("n", 3);
+    c += 1;
+    EXPECT_EQ(s.get("n"), 6u);
+
+    StatSet other;
+    other.merge(s);
+    EXPECT_EQ(other.get("n"), 6u);
+}
+
 TEST(EventQueue, OrderedByCycleThenSeq)
 {
     EventQueue eq;

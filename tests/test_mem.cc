@@ -199,8 +199,8 @@ TEST(Dram, CompletesRequests)
     DramConfig cfg;
     Dram dram(eq, cfg);
     int done = 0;
-    dram.enqueue(0x1000, false, [&] { ++done; });
-    dram.enqueue(0x2000, false, [&] { ++done; });
+    ASSERT_TRUE(dram.enqueue(0x1000, false, [&] { ++done; }));
+    ASSERT_TRUE(dram.enqueue(0x2000, false, [&] { ++done; }));
     eq.run_until(10'000);
     EXPECT_EQ(done, 2);
     EXPECT_TRUE(dram.idle());
@@ -215,17 +215,17 @@ TEST(Dram, RowHitFasterThanMiss)
     EventQueue eq1;
     Dram d1(eq1, cfg);
     Cycle t_same = 0;
-    d1.enqueue(0x0, false, [] {});
-    d1.enqueue(0x80, false, [&] { t_same = eq1.now(); });
+    ASSERT_TRUE(d1.enqueue(0x0, false, [] {}));
+    ASSERT_TRUE(d1.enqueue(0x80, false, [&] { t_same = eq1.now(); }));
     eq1.run_until(10'000);
 
     // Two accesses to different rows in the same bank: row misses.
     EventQueue eq2;
     Dram d2(eq2, cfg);
     Cycle t_diff = 0;
-    d2.enqueue(0x0, false, [] {});
-    d2.enqueue(cfg.row_bytes * cfg.banks_per_channel, false,
-               [&] { t_diff = eq2.now(); });
+    ASSERT_TRUE(d2.enqueue(0x0, false, [] {}));
+    ASSERT_TRUE(d2.enqueue(cfg.row_bytes * cfg.banks_per_channel, false,
+                            [&] { t_diff = eq2.now(); }));
     eq2.run_until(10'000);
 
     EXPECT_LT(t_same, t_diff);
@@ -243,10 +243,10 @@ TEST(Dram, FrFcfsPrefersOpenRow)
     // First request opens row 0; then queue a row-1 and a row-0 request
     // while the channel is busy: FR-FCFS should pick the row-0 one
     // second despite arriving later.
-    dram.enqueue(0x0, false, [&] { order.push_back(0); });
-    dram.enqueue(cfg.row_bytes * cfg.banks_per_channel, false,
-                 [&] { order.push_back(1); });
-    dram.enqueue(0x40, false, [&] { order.push_back(2); });
+    ASSERT_TRUE(dram.enqueue(0x0, false, [&] { order.push_back(0); }));
+    ASSERT_TRUE(dram.enqueue(cfg.row_bytes * cfg.banks_per_channel, false,
+                             [&] { order.push_back(1); }));
+    ASSERT_TRUE(dram.enqueue(0x40, false, [&] { order.push_back(2); }));
     eq.run_until(100'000);
     ASSERT_EQ(order.size(), 3u);
     EXPECT_EQ(order[0], 0);
@@ -372,34 +372,71 @@ TEST_F(HierarchyTest, DirtyL2EvictionsCreateWritebackTraffic)
     EXPECT_GT(hier_->l2().stats().get("writebacks"), 0u);
 }
 
-TEST(DramQueue, BackPressureCounted)
+TEST(DramQueue, BackPressureRejectsWhenFull)
 {
+    // Regression: enqueue used to count queue_full but push anyway, so a
+    // 4-deep queue happily held 64 requests. It must now reject.
     EventQueue eq;
     DramConfig cfg;
     cfg.channels = 1;
     cfg.queue_capacity = 4;
     Dram dram(eq, cfg);
-    for (int i = 0; i < 64; ++i)
-        dram.enqueue(static_cast<PAddr>(i) * 4096, false, [] {});
+    unsigned done = 0;
+    unsigned accepted = 0;
+    unsigned rejected = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (dram.enqueue(static_cast<PAddr>(i) * 4096, false,
+                         [&] { ++done; }))
+            ++accepted;
+        else
+            ++rejected;
+    }
+    EXPECT_EQ(accepted, 4u);
+    EXPECT_EQ(rejected, 60u);
     eq.run_until(1'000'000);
     EXPECT_TRUE(dram.idle());
-    EXPECT_GT(dram.stats().get("queue_full"), 0u);
-    EXPECT_EQ(dram.stats().get("requests"), 64u);
+    EXPECT_EQ(done, accepted);
+    EXPECT_EQ(dram.stats().get("queue_full"), 60u);
+    EXPECT_EQ(dram.stats().get("requests"), 4u); // only accepted ones
+}
+
+TEST(DramQueue, RejectedCallbackStaysUsable)
+{
+    // A rejected enqueue must not consume the callback: the caller
+    // retries the same callback once the queue drains.
+    EventQueue eq;
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.queue_capacity = 1;
+    Dram dram(eq, cfg);
+    unsigned done = 0;
+    auto cb = [&] { ++done; };
+    ASSERT_TRUE(dram.enqueue(0x1000, false, cb));
+    Dram::Callback retry = cb;
+    ASSERT_FALSE(dram.enqueue(0x2000, false, std::move(retry)));
+    // Drain, then the retry succeeds with the original callback intact.
+    eq.run_until(1'000'000);
+    ASSERT_TRUE(dram.idle());
+    ASSERT_TRUE(dram.enqueue(0x2000, false, std::move(retry)));
+    eq.run_until(2'000'000);
+    EXPECT_EQ(done, 2u);
 }
 
 TEST(DramChannels, InterleavingSpreadsLoad)
 {
     // With 16 channels, line-interleaved requests should finish much
-    // faster than the same requests forced onto one channel.
+    // faster than the same requests forced onto one channel. Capacity is
+    // raised so back-pressure never rejects (128 land on one channel).
     auto run_channels = [](unsigned channels) {
         EventQueue eq;
         DramConfig cfg;
         cfg.channels = channels;
+        cfg.queue_capacity = 128;
         Dram dram(eq, cfg);
         unsigned done = 0;
         for (int i = 0; i < 128; ++i)
-            dram.enqueue(static_cast<PAddr>(i) * 128, false,
-                         [&] { ++done; });
+            EXPECT_TRUE(dram.enqueue(static_cast<PAddr>(i) * 128, false,
+                                     [&] { ++done; }));
         Cycle finish = 0;
         while (!dram.idle() && eq.now() < 1'000'000) {
             eq.step();
@@ -411,6 +448,34 @@ TEST(DramChannels, InterleavingSpreadsLoad)
     const Cycle one = run_channels(1);
     const Cycle sixteen = run_channels(16);
     EXPECT_LT(sixteen * 4, one); // at least 4x faster with 16 channels
+}
+
+TEST(HierarchyBackPressure, RetriesUntilEveryAccessCompletes)
+{
+    // Hierarchy-level view of the same bug: with a tiny DRAM queue, a
+    // burst of misses must still complete every access (via the 1-cycle
+    // retry path) instead of overflowing the queue.
+    EventQueue eq;
+    PageTable pt(kPageSize2M);
+    VaAllocator alloc(pt, 0x2000'0000, 0x1000'0000);
+    MemHierConfig cfg;
+    cfg.page_size = kPageSize2M;
+    cfg.dram.channels = 1;
+    cfg.dram.queue_capacity = 2;
+    MemoryHierarchy hier(eq, pt, cfg, 1);
+    const VaRegion region = alloc.alloc(1 << 20);
+
+    unsigned done = 0;
+    const unsigned n = 64;
+    for (unsigned i = 0; i < n; ++i) {
+        // Distinct lines so everything misses through to DRAM at once.
+        const AccessIssue issue =
+            hier.access(0, region.base + i * 4096, false, [&] { ++done; });
+        ASSERT_FALSE(issue.translation_fault);
+    }
+    eq.run_until(10'000'000);
+    EXPECT_EQ(done, n);
+    EXPECT_GT(hier.stats().get("dram_retries"), 0u);
 }
 
 } // namespace

@@ -192,6 +192,47 @@ TEST(RCache, L1FifoEviction)
     EXPECT_EQ(rc.lookup(1, 10).level, RCacheLevel::L1);
 }
 
+TEST(RCache, L1IsTrueFifoHitDoesNotRefreshAge)
+{
+    // Regression: L1 claimed FIFO but shared the L2's LRU stamp, so an
+    // L1 hit refreshed the entry's age and the *least-recently-used*
+    // entry was evicted instead of the oldest-inserted one.
+    RCacheConfig cfg;
+    cfg.l1_entries = 2;
+    RCache rc(cfg);
+    rc.fill(1, 10, mk_bounds(0x100, 4)); // oldest insertion
+    rc.fill(1, 11, mk_bounds(0x200, 4));
+    EXPECT_EQ(rc.lookup(1, 10).level, RCacheLevel::L1); // hit: no refresh
+    rc.fill(1, 12, mk_bounds(0x300, 4)); // FIFO must evict 10, not 11
+    EXPECT_EQ(rc.lookup(1, 12).level, RCacheLevel::L1);
+    EXPECT_EQ(rc.lookup(1, 11).level, RCacheLevel::L1);
+    EXPECT_EQ(rc.lookup(1, 10).level, RCacheLevel::L2); // fell out of L1
+}
+
+TEST(RCache, L1EvictionsCounted)
+{
+    RCacheConfig cfg;
+    cfg.l1_entries = 2;
+    RCache rc(cfg);
+    rc.fill(1, 10, mk_bounds(0x100, 4));
+    rc.fill(1, 11, mk_bounds(0x200, 4));
+    EXPECT_EQ(rc.stats().get("l1_evictions"), 0u); // filled empty ways
+    rc.fill(1, 12, mk_bounds(0x300, 4));
+    EXPECT_EQ(rc.stats().get("l1_evictions"), 1u);
+}
+
+TEST(RCache, InvalidateKernelKeepsOtherKernelsEntries)
+{
+    // Regression: kernel termination used to flush() the whole RCache,
+    // evicting co-resident kernels' bounds (§6.2 keeps them).
+    RCache rc(RCacheConfig{});
+    rc.fill(1, 5, mk_bounds(0x100, 4, 1));
+    rc.fill(2, 6, mk_bounds(0x200, 4, 2));
+    rc.invalidate_kernel(1);
+    EXPECT_EQ(rc.lookup(1, 5).level, RCacheLevel::Miss);
+    EXPECT_EQ(rc.lookup(2, 6).level, RCacheLevel::L1);
+}
+
 TEST(RCache, KernelIdDisambiguates)
 {
     RCache rc(RCacheConfig{});
@@ -416,6 +457,30 @@ TEST_F(BcuTest, DeregisterFlushesRCache)
     bcu_.register_kernel(kKernel, kKey, &rbt_);
     const BcuResponse r = bcu_.check(req(0x1000, 0x1004, false, kId));
     EXPECT_TRUE(r.refill); // cold again after the flush
+}
+
+TEST_F(BcuTest, DeregisterKeepsCoResidentKernelEntries)
+{
+    // Regression: deregister_kernel used to flush the whole RCache, so a
+    // terminating kernel evicted its co-resident kernels' cached bounds
+    // and forced spurious RBT refills (§6.2).
+    constexpr KernelId kOther = 4;
+    constexpr BufferId kOtherId = 90;
+    RegionBoundsTable other_rbt(mem_, 0xE100'0000ull);
+    other_rbt.clear_all();
+    Bounds b = mk_bounds(0x5000, 256, kOther);
+    other_rbt.set(kOtherId, b);
+    bcu_.register_kernel(kOther, kKey, &other_rbt);
+
+    BcuRequest other = req(0x5000, 0x5004, false, kOtherId);
+    other.kernel = kOther;
+    EXPECT_TRUE(bcu_.check(other).refill); // cold: first touch refills
+    EXPECT_FALSE(bcu_.check(other).refill);
+
+    bcu_.deregister_kernel(kKernel); // the *other* kernel terminates
+    const BcuResponse r = bcu_.check(other);
+    EXPECT_FALSE(r.refill); // kOther's entry survived
+    EXPECT_FALSE(r.violation);
 }
 
 // --- Hardware cost model (Table 3) ------------------------------------
