@@ -10,9 +10,11 @@
  */
 
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "api/gpushield_api.h"
+#include "obs/profiler.h"
 #include "workloads/kernels.h"
 
 using namespace gpushield;
@@ -83,5 +85,21 @@ main()
                     static_cast<unsigned long long>(v.min_addr),
                     static_cast<unsigned long long>(v.max_end));
     }
+
+    // 7. Profile a launch: every warp-cycle is attributed to a stall
+    //    cause, and the timeline exports as Chrome trace JSON (load
+    //    quickstart_profile.json in https://ui.perfetto.dev).
+    LaunchOptions profiled;
+    profiled.profile.enabled = true;
+    const LaunchResult prof_run =
+        ctx.launch(vecadd, {256, 16}, {arg(a), arg(b), arg(c)}, profiled);
+    std::printf("profiled: %.1f%% of warp-cycles issued, %.1f%% waiting "
+                "on memory\n",
+                100.0 * prof_run.profile.fraction(obs::StallCause::Issued),
+                100.0 * prof_run.profile.fraction(
+                            obs::StallCause::MemPending));
+    std::ofstream trace("quickstart_profile.json");
+    ctx.profiler()->write_chrome_trace(trace);
+
     return wrong == 0 && !bad_run.violations.empty() ? 0 : 1;
 }

@@ -22,8 +22,15 @@ cmp build/smoke.jsonl build/smoke-serial.jsonl
 
 # Golden gate: simulated behaviour must match the committed record.
 # A legitimate model change updates tests/golden/smoke.jsonl in the
-# same commit.
+# same commit. Note the sweeps above run UNPROFILED — the golden file
+# has no "obs" fields, so this also guards the profiler's
+# disabled-path invisibility.
 cmp build/smoke-serial.jsonl tests/golden/smoke.jsonl
+
+# Profile smoke: trace every single-kernel smoke cell, re-parse each
+# trace, and verify the stall-attribution invariant (--check).
+./build/src/gpushield-profile --suite smoke \
+    --out-dir build/profile-smoke --check
 
 # Perf smoke: Release build, simulator-throughput microbenchmark.
 # Refreshes BENCH_sim_throughput.json (committed as the baseline).

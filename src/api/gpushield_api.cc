@@ -1,12 +1,32 @@
 #include "api/gpushield_api.h"
 
+#include <stdexcept>
+
 #include "common/log.h"
 
 namespace gpushield::api {
 
+const char *
+to_string(LaunchStatus status)
+{
+    switch (status) {
+    case LaunchStatus::Ok: return "ok";
+    case LaunchStatus::Aborted: return "aborted";
+    case LaunchStatus::Error: return "error";
+    }
+    return "unknown";
+}
+
 Context::Context(const GpuConfig &config, std::uint64_t seed)
     : config_(config), device_(config.mem.page_size), driver_(device_, seed)
 {
+}
+
+Buffer
+Context::malloc(std::uint64_t bytes, const BufferDesc &desc)
+{
+    return driver_.create_buffer(bytes, desc.read_only, desc.pow2,
+                                 desc.label);
 }
 
 Buffer
@@ -40,10 +60,13 @@ LaunchResult
 Context::launch(const KernelProgram &program, Grid grid,
                 const std::vector<Arg> &args, const LaunchOptions &options)
 {
+    // Host-API misuse throws (the contract in the header); everything
+    // the simulated program does is reported via LaunchResult::status.
     if (args.size() != program.args.size())
-        fatal("api::launch: argument count mismatch (" +
-              std::to_string(args.size()) + " given, " +
-              std::to_string(program.args.size()) + " declared)");
+        throw std::invalid_argument(
+            "api::launch: argument count mismatch (" +
+            std::to_string(args.size()) + " given, " +
+            std::to_string(program.args.size()) + " declared)");
 
     LaunchConfig cfg;
     cfg.program = &program;
@@ -61,33 +84,65 @@ Context::launch(const KernelProgram &program, Grid grid,
     // slot when the builder declared the args in order.
     for (std::size_t i = 0; i < args.size(); ++i) {
         const bool declared_ptr = program.args[i].is_pointer;
-        if (declared_ptr != args[i].is_buffer)
-            fatal("api::launch: argument " + std::to_string(i) +
-                  (declared_ptr ? " must be a buffer" : " must be a scalar"));
-        if (args[i].is_buffer) {
+        if (declared_ptr != args[i].is_buffer())
+            throw std::invalid_argument(
+                "api::launch: argument " + std::to_string(i) +
+                (declared_ptr ? " must be a buffer" : " must be a scalar"));
+        if (args[i].is_buffer()) {
             cfg.buffers.resize(
                 std::max<std::size_t>(cfg.buffers.size(),
                                       program.args[i].buffer_index + 1));
-            cfg.buffers[program.args[i].buffer_index] = args[i].buffer;
+            cfg.buffers[program.args[i].buffer_index] = args[i].buffer();
         } else {
-            cfg.scalars[i] = args[i].scalar;
-            cfg.scalar_static[i] = args[i].scalar_static;
+            cfg.scalars[i] = args[i].scalar();
+            cfg.scalar_static[i] = args[i].scalar_static();
         }
     }
 
     Gpu gpu(config_, driver_);
+    if (observer_ != nullptr)
+        gpu.set_observer(observer_);
+    if (options.profile.enabled) {
+        if (!profiler_) {
+            obs::ProfileConfig pcfg;
+            pcfg.sample_interval = options.profile.sample_interval;
+            pcfg.workgroup_spans = options.profile.workgroup_spans;
+            profiler_ = std::make_unique<obs::Profiler>(pcfg);
+        }
+        profiler_->set_time_base(profile_time_base_);
+        gpu.set_profiler(profiler_.get());
+    }
+
     const std::size_t idx =
         gpu.launch(driver_.launch(cfg), options.core_mask);
-    gpu.run();
 
     LaunchResult result;
+    try {
+        gpu.run();
+    } catch (const SimulationError &e) {
+        result.status = LaunchStatus::Error;
+        result.status_message = e.what();
+    }
+
+    if (options.profile.enabled)
+        profile_time_base_ += gpu.now();
+
     const KernelResult kr = gpu.result(idx);
-    result.cycles = kr.cycles();
-    result.aborted = kr.aborted;
+    result.cycles =
+        result.status == LaunchStatus::Error ? gpu.now() : kr.cycles();
     result.violations = kr.violations;
     result.stats = kr.stats;
     result.l1_rcache_hit_rate = gpu.rcache_l1_hit_rate();
+    if (result.status == LaunchStatus::Ok && kr.aborted) {
+        result.status = LaunchStatus::Aborted;
+        result.status_message =
+            config_.precise_exceptions && kr.stats.get("violations") > 0
+                ? "bounds violation (precise exception)"
+                : "illegal memory access (translation fault)";
+    }
     result.canaries = driver_.finish(gpu.launch_state(idx));
+    if (profiler_)
+        result.profile = profiler_->summary();
     return result;
 }
 

@@ -6,11 +6,38 @@
  * launch plumbing directly:
  *
  *   gpushield::api::Context ctx;                  // Nvidia-like GPU
- *   auto a = ctx.malloc(n * 4);
+ *   auto a = ctx.malloc(n * 4, {.label = "A"});
  *   ctx.upload(a, host_data, n * 4);
  *   auto r = ctx.launch(program, {256, 64}, {api::arg(a), api::arg(n)});
  *   if (!r.violations.empty()) ...                // attack caught
  *   ctx.download(a, host_data, n * 4);
+ *
+ * ## Error-reporting contract
+ *
+ * `Context::launch` separates two failure worlds:
+ *
+ *  - **Host-API misuse** — wrong argument count, buffer passed where a
+ *    scalar is declared (or vice versa) — throws `std::invalid_argument`
+ *    at bind time, before any simulation runs. These are bugs in the
+ *    calling host program.
+ *  - **Simulated-program outcomes** never throw. They come back on
+ *    `LaunchResult::status`: `Ok` (ran to completion; bounds violations
+ *    in error-logging mode still count as Ok — inspect
+ *    `LaunchResult::violations`), `Aborted` (the simulated kernel was
+ *    killed: translation fault, or a bounds violation on a
+ *    precise-exception GPU), or `Error` (the simulation itself gave up:
+ *    cycle budget exhausted / deadlock). `status_message` carries the
+ *    human-readable cause for anything but Ok.
+ *
+ * ## Profiling
+ *
+ * Set `LaunchOptions::profile.enabled` to attribute every warp-cycle of
+ * the launch to a stall cause (see src/obs/profiler.h and
+ * docs/PROFILING.md). The Context lazily creates one obs::Profiler and
+ * accumulates successive profiled launches onto a single timeline;
+ * `profiler()` exposes it for Chrome-trace export, and each
+ * `LaunchResult::profile` carries the running aggregate summary.
+ * GT-Pin-style instruction observers attach via `attach()`.
  */
 
 #ifndef GPUSHIELD_API_GPUSHIELD_API_H
@@ -19,11 +46,14 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <variant>
 #include <vector>
 
 #include "driver/driver.h"
+#include "obs/profiler.h"
 #include "sim/config.h"
 #include "sim/gpu.h"
+#include "sim/observer.h"
 
 namespace gpushield::api {
 
@@ -37,35 +67,94 @@ struct Grid
     std::uint32_t blocks = 1;
 };
 
-/** One kernel argument: a buffer or a scalar. */
-struct Arg
+/** Allocation options for Context::malloc (designated-initializer
+ *  friendly: `ctx.malloc(n, {.read_only = true, .label = "A"})`). */
+struct BufferDesc
 {
-    bool is_buffer = false;
-    Buffer buffer{};
-    std::int64_t scalar = 0;
-    bool scalar_static = false;
+    bool read_only = false; //!< stores through this buffer violate
+    bool pow2 = false;      //!< round the region up for Type 3 pointers
+    std::string label;      //!< debugging / trace name
+};
+
+/** Whether a scalar argument's value is a host-code literal the static
+ *  analysis may rely on (Fig. 5's host-code analysis). */
+enum class Static : std::uint8_t { no, yes };
+
+/**
+ * One kernel argument: a buffer or a scalar. Construct through the
+ * arg() factories; inspect through the typed accessors.
+ */
+class Arg
+{
+  public:
+    /** Buffer argument. */
+    static Arg
+    of(Buffer buffer)
+    {
+        return Arg(buffer);
+    }
+
+    /** Scalar argument. */
+    static Arg
+    of(std::int64_t scalar, Static statically_known)
+    {
+        return Arg(Scalar{scalar, statically_known == Static::yes});
+    }
+
+    bool
+    is_buffer() const
+    {
+        return std::holds_alternative<Buffer>(value_);
+    }
+
+    /** The buffer; requires is_buffer(). */
+    Buffer buffer() const { return std::get<Buffer>(value_); }
+
+    /** The scalar value; requires !is_buffer(). */
+    std::int64_t scalar() const { return std::get<Scalar>(value_).value; }
+
+    /** Whether the scalar is statically known; requires !is_buffer(). */
+    bool
+    scalar_static() const
+    {
+        return std::get<Scalar>(value_).statically_known;
+    }
+
+  private:
+    struct Scalar
+    {
+        std::int64_t value = 0;
+        bool statically_known = false;
+    };
+
+    explicit Arg(Buffer b) : value_(b) {}
+    explicit Arg(Scalar s) : value_(s) {}
+
+    std::variant<Buffer, Scalar> value_;
 };
 
 /** Binds a buffer argument. */
 inline Arg
 arg(Buffer buffer)
 {
-    Arg a;
-    a.is_buffer = true;
-    a.buffer = buffer;
-    return a;
+    return Arg::of(buffer);
 }
 
-/** Binds a scalar argument. @p statically_known marks host literals the
- *  static analysis may rely on (Fig. 5's host-code analysis). */
+/** Binds a scalar argument; pass Static::yes for host literals the
+ *  static analysis may rely on. */
 inline Arg
-arg(std::int64_t scalar, bool statically_known = false)
+arg(std::int64_t scalar, Static statically_known = Static::no)
 {
-    Arg a;
-    a.scalar = scalar;
-    a.scalar_static = statically_known;
-    return a;
+    return Arg::of(scalar, statically_known);
 }
+
+/** Per-launch profiling options (see docs/PROFILING.md). */
+struct ProfileOptions
+{
+    bool enabled = false;        //!< attach the stall-attribution profiler
+    Cycle sample_interval = 64;  //!< occupancy/IPC sampling period
+    bool workgroup_spans = true; //!< per-workgroup trace slices
+};
 
 /** Per-launch protection options. */
 struct LaunchOptions
@@ -75,17 +164,34 @@ struct LaunchOptions
     bool replace_sw_checks = false;//!< §6.4 guard replacement
     std::uint64_t heap_bytes = 0;  //!< device-malloc limit
     std::uint64_t core_mask = ~std::uint64_t{0};
+    ProfileOptions profile;        //!< stall-attribution profiling
 };
+
+/** How a launch ended (see the error-reporting contract above). */
+enum class LaunchStatus : std::uint8_t {
+    Ok,      //!< ran to completion (violations may still be logged)
+    Aborted, //!< simulated kernel killed (fault / precise exception)
+    Error,   //!< simulation gave up (budget exhausted / deadlock)
+};
+
+/** Stable lower-case spelling of @p status. */
+const char *to_string(LaunchStatus status);
 
 /** Result of a synchronous launch. */
 struct LaunchResult
 {
+    LaunchStatus status = LaunchStatus::Ok;
+    std::string status_message; //!< empty when status == Ok
     Cycle cycles = 0;
-    bool aborted = false;
     std::vector<Violation> violations;
     std::vector<CanaryReport> canaries;
     StatSet stats;
     double l1_rcache_hit_rate = 0.0;
+    /** Aggregate stall attribution; enabled only when the launch was
+     *  profiled (running total across this Context's profiled launches). */
+    obs::ProfileSummary profile;
+
+    bool ok() const { return status == LaunchStatus::Ok; }
 };
 
 /**
@@ -100,8 +206,14 @@ class Context
 
     /// @name Memory management
     /// @{
-    Buffer malloc(std::uint64_t bytes, bool read_only = false,
-                  bool pow2 = false, std::string label = {});
+    Buffer malloc(std::uint64_t bytes, const BufferDesc &desc = {});
+
+    /** @deprecated Bool-flag form; use the BufferDesc overload. Will be
+     *  removed next release. */
+    [[deprecated("use malloc(bytes, BufferDesc) instead")]]
+    Buffer malloc(std::uint64_t bytes, bool read_only, bool pow2 = false,
+                  std::string label = {});
+
     void upload(Buffer buffer, const void *data, std::size_t len,
                 std::uint64_t offset = 0);
     void download(Buffer buffer, void *out, std::size_t len,
@@ -110,10 +222,31 @@ class Context
     VAddr address_of(Buffer buffer) const;
     /// @}
 
-    /** Launches @p program synchronously and returns the outcome. */
+    /**
+     * Launches @p program synchronously and returns the outcome.
+     * @throws std::invalid_argument on host-API misuse (argument
+     *         count/kind mismatch); simulated-program faults never
+     *         throw — see LaunchResult::status.
+     */
     LaunchResult launch(const KernelProgram &program, Grid grid,
                         const std::vector<Arg> &args,
                         const LaunchOptions &options = {});
+
+    /// @name Observability
+    /// @{
+    /** Attaches a GT-Pin-style issue observer to subsequent launches
+     *  (not owned; must outlive the launches). */
+    void attach(IssueObserver &observer) { observer_ = &observer; }
+
+    /** Detaches the issue observer. */
+    void detach_observer() { observer_ = nullptr; }
+
+    /** The context's profiler — created by the first launch with
+     *  profile.enabled; nullptr before that. Successive profiled
+     *  launches accumulate onto its single timeline. */
+    obs::Profiler *profiler() { return profiler_.get(); }
+    const obs::Profiler *profiler() const { return profiler_.get(); }
+    /// @}
 
     const GpuConfig &config() const { return config_; }
     Driver &driver() { return driver_; }
@@ -123,6 +256,11 @@ class Context
     GpuConfig config_;
     GpuDevice device_;
     Driver driver_;
+    IssueObserver *observer_ = nullptr;
+    std::unique_ptr<obs::Profiler> profiler_;
+    /** Each launch simulates from cycle 0; this offset strings profiled
+     *  launches onto one trace timeline. */
+    Cycle profile_time_base_ = 0;
 };
 
 } // namespace gpushield::api

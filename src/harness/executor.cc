@@ -7,6 +7,7 @@
 
 #include "common/log.h"
 #include "harness/thread_pool.h"
+#include "obs/profiler.h"
 #include "workloads/runner.h"
 #include "workloads/suites.h"
 
@@ -54,7 +55,7 @@ placement_masks(Placement placement, unsigned num_cores)
 /** Two kernels co-scheduled on one GPU; cycles = makespan (§6.2). */
 void
 run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
-              RunRecord &r)
+              RunRecord &r, obs::Profiler *prof)
 {
     const GpuConfig &cfg = spec.config(cell.config);
     const BenchmarkDef &a = find_in_set(cell.set, cell.workload);
@@ -65,6 +66,8 @@ run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
         placement_masks(cell.placement, cfg.num_cores);
 
     Gpu gpu(cfg, driver);
+    if (prof != nullptr)
+        gpu.set_profiler(prof);
     const std::size_t ia =
         gpu.launch(driver.launch(wa.make_config(cell.shield, cell.use_static)),
                    mask_a);
@@ -89,7 +92,7 @@ run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
 
 void
 run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
-                RunRecord &r)
+                RunRecord &r, obs::Profiler *prof)
 {
     const GpuConfig &cfg = spec.config(cell.config);
     const BenchmarkDef &def = find_in_set(cell.set, cell.workload);
@@ -97,7 +100,8 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
 
     if (cell.launches > 1) {
         const workloads::MultiLaunchOutcome out = workloads::run_workload_n(
-            cfg, driver, inst, cell.launches, cell.shield, cell.use_static);
+            cfg, driver, inst, cell.launches, cell.shield, cell.use_static,
+            0, 0, prof);
         r.cycles = out.total_cycles;
         r.violations = out.violations;
         r.aborted = out.aborted;
@@ -109,7 +113,7 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
     }
 
     const workloads::RunOutcome out = workloads::run_workload(
-        cfg, driver, inst, cell.shield, cell.use_static);
+        cfg, driver, inst, cell.shield, cell.use_static, 0, 0, prof);
     r.cycles = out.result.cycles();
     r.violations = out.result.violations.size();
     r.aborted = out.result.aborted;
@@ -125,7 +129,7 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
 } // namespace
 
 RunRecord
-run_cell(const SweepSpec &spec, std::size_t index)
+run_cell(const SweepSpec &spec, std::size_t index, bool profile)
 {
     const CellSpec &cell = spec.cells.at(index);
 
@@ -146,10 +150,14 @@ run_cell(const SweepSpec &spec, std::size_t index)
         const GpuConfig &cfg = spec.config(cell.config);
         GpuDevice dev(cfg.mem.page_size);
         Driver driver(dev, r.seed);
+        obs::Profiler prof;
+        obs::Profiler *p = profile ? &prof : nullptr;
         if (cell.workload_b.empty())
-            run_single_cell(spec, cell, driver, r);
+            run_single_cell(spec, cell, driver, r, p);
         else
-            run_pair_cell(spec, cell, driver, r);
+            run_pair_cell(spec, cell, driver, r, p);
+        if (profile)
+            r.obs = prof.summary().to_statset();
         r.ok = true;
     } catch (const std::exception &e) {
         r.ok = false;
@@ -185,7 +193,7 @@ run_sweep(const SweepSpec &spec, const SweepOptions &opts)
     std::mutex progress_mu;
     std::atomic<std::size_t> done{0};
     const auto run_one = [&](std::size_t i) {
-        RunRecord r = run_cell(spec, i);
+        RunRecord r = run_cell(spec, i, opts.profile);
         const std::size_t n = ++done;
         if (opts.progress != nullptr) {
             std::lock_guard<std::mutex> lock(progress_mu);

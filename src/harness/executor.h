@@ -25,6 +25,11 @@ struct SweepOptions
 {
     unsigned jobs = 1;                //!< worker threads (1 = run inline)
     std::ostream *progress = nullptr; //!< per-cell progress lines, if set
+    /** Attach a stall-attribution profiler to every cell and record its
+     *  roll-up in RunRecord::obs. Off by default: profiled records grow
+     *  an extra JSONL field, and golden-file comparisons expect the
+     *  unprofiled form. */
+    bool profile = false;
 };
 
 /** A finished sweep: the records plus how the run went operationally. */
@@ -43,9 +48,12 @@ struct SweepResult
 
 /**
  * Runs cell @p index of @p spec in isolation and returns its record.
- * Never throws: failures come back as !ok records.
+ * Never throws: failures come back as !ok records. With @p profile the
+ * cell runs under a private obs::Profiler and the record carries the
+ * stall-attribution roll-up in RunRecord::obs.
  */
-RunRecord run_cell(const SweepSpec &spec, std::size_t index);
+RunRecord run_cell(const SweepSpec &spec, std::size_t index,
+                   bool profile = false);
 
 /** Runs the whole grid; records are ordered by cell index. */
 SweepResult run_sweep(const SweepSpec &spec, const SweepOptions &opts = {});

@@ -62,7 +62,7 @@ operator==(const RunRecord &a, const RunRecord &b)
            a.cycles == b.cycles && a.violations == b.violations &&
            a.l1_rcache_hit_rate == b.l1_rcache_hit_rate &&
            a.rcache == b.rcache && a.bcu == b.bcu && a.mem == b.mem &&
-           a.kernel == b.kernel;
+           a.kernel == b.kernel && a.obs == b.obs;
 }
 
 double
@@ -193,8 +193,12 @@ MetricsRegistry::write_jsonl(std::ostream &os) const
            << ",\"rcache\":" << stat_set_json(r.rcache)
            << ",\"bcu\":" << stat_set_json(r.bcu)
            << ",\"mem\":" << stat_set_json(r.mem)
-           << ",\"kernel\":" << stat_set_json(r.kernel)
-           << "}\n";
+           << ",\"kernel\":" << stat_set_json(r.kernel);
+        // Only profiled sweeps carry "obs": keeps unprofiled output
+        // (and the golden files diffed in CI) byte-identical.
+        if (!r.obs.counters().empty())
+            os << ",\"obs\":" << stat_set_json(r.obs);
+        os << "}\n";
     }
 }
 
@@ -463,6 +467,8 @@ MetricsRegistry::read_jsonl(std::istream &is)
                 r.mem = cur.parse_stat_set();
             else if (field == "kernel")
                 r.kernel = cur.parse_stat_set();
+            else if (field == "obs")
+                r.obs = cur.parse_stat_set();
             else
                 throw SimulationError("jsonl: unknown field " + field);
         } while (cur.consume(','));

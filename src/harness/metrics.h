@@ -54,6 +54,11 @@ struct RunRecord
     StatSet bcu;
     StatSet mem;
     StatSet kernel;
+    /** Stall-attribution roll-up (obs::ProfileSummary::to_statset());
+     *  empty unless the sweep ran with SweepOptions::profile. The JSONL
+     *  "obs" field is emitted only when non-empty, so unprofiled sweeps
+     *  serialize byte-identically to pre-profiler records. */
+    StatSet obs;
 };
 
 bool operator==(const RunRecord &a, const RunRecord &b);

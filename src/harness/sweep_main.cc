@@ -31,6 +31,8 @@ usage(const char *argv0)
                  "  --jobs N       worker threads (default: %u)\n"
                  "  --jsonl PATH   write JSON Lines records ('-' = stdout)\n"
                  "  --csv PATH     write CSV records ('-' = stdout)\n"
+                 "  --profile      attach the stall-attribution profiler\n"
+                 "                 (adds the \"obs\" JSONL field)\n"
                  "  --list         list available suites\n"
                  "  --quiet        suppress per-cell progress\n",
                  argv0, ThreadPool::hardware_jobs());
@@ -64,7 +66,7 @@ main(int argc, char **argv)
 {
     std::string suite_name, jsonl_path, csv_path;
     unsigned jobs = ThreadPool::hardware_jobs();
-    bool quiet = false, list = false;
+    bool quiet = false, list = false, profile = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -84,6 +86,8 @@ main(int argc, char **argv)
             jsonl_path = value();
         else if (arg == "--csv")
             csv_path = value();
+        else if (arg == "--profile")
+            profile = true;
         else if (arg == "--list")
             list = true;
         else if (arg == "--quiet")
@@ -111,6 +115,7 @@ main(int argc, char **argv)
     SweepOptions opts;
     opts.jobs = jobs == 0 ? 1 : jobs;
     opts.progress = quiet ? nullptr : &std::cerr;
+    opts.profile = profile;
 
     const SweepResult result = run_sweep(spec, opts);
 

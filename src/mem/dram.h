@@ -20,6 +20,10 @@
 #include "common/stats.h"
 #include "common/types.h"
 
+namespace gpushield::obs {
+class Profiler;
+}
+
 namespace gpushield {
 
 /** DRAM timing and geometry parameters (in core cycles). */
@@ -57,6 +61,13 @@ class Dram
     /** True when all channels are idle with empty queues. */
     bool idle() const;
 
+    /** Requests currently queued or in service across all channels
+     *  (instantaneous occupancy; sampled by the profiler). */
+    unsigned total_queued() const;
+
+    /** Attaches a stall-attribution profiler; nullptr detaches. */
+    void set_profiler(obs::Profiler *prof) { prof_ = prof; }
+
     const DramConfig &config() const { return cfg_; }
     const StatSet &stats() const { return stats_; }
 
@@ -86,6 +97,7 @@ class Dram
     EventQueue &eq_;
     DramConfig cfg_;
     std::vector<Channel> channels_;
+    obs::Profiler *prof_ = nullptr;
     std::uint64_t next_seq_ = 0;
     StatSet stats_;
     // Interned per-request counters (resolved once; bumped per event).

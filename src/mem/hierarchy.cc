@@ -1,6 +1,7 @@
 #include "mem/hierarchy.h"
 
 #include "common/bitutil.h"
+#include "obs/profiler.h"
 
 namespace gpushield {
 
@@ -57,6 +58,8 @@ MemoryHierarchy::access(CoreId core, VAddr vaddr, bool is_write, Callback done)
 
     const auto l1_res = l1_[core]->access(line_addr, is_write);
     issue.l1_hit = l1_res.hit;
+    if (prof_ != nullptr)
+        prof_->on_mem_access(l1_res.hit);
 
     if (l1_res.hit) {
         eq_.schedule_in(tlb_delay + cfg_.l1_latency, std::move(done));
@@ -91,10 +94,34 @@ MemoryHierarchy::enqueue_dram(PAddr paddr, bool is_write, Callback done)
     // Channel queue full: Dram::enqueue rejected without consuming the
     // callback; retry next cycle until a slot frees up.
     ++c_dram_retries_;
+    ++pending_dram_retries_;
+    if (prof_ != nullptr)
+        prof_->on_dram_retry();
+    schedule_dram_retry(paddr, is_write, std::move(done));
+}
+
+void
+MemoryHierarchy::schedule_dram_retry(PAddr paddr, bool is_write,
+                                     Callback done)
+{
     eq_.schedule_in(1, [this, paddr, is_write,
                         done = std::move(done)]() mutable {
-        enqueue_dram(paddr, is_write, std::move(done));
+        if (dram_.enqueue(paddr, is_write, std::move(done))) {
+            --pending_dram_retries_;
+            return;
+        }
+        ++c_dram_retries_;
+        if (prof_ != nullptr)
+            prof_->on_dram_retry();
+        schedule_dram_retry(paddr, is_write, std::move(done));
     });
+}
+
+void
+MemoryHierarchy::set_profiler(obs::Profiler *prof)
+{
+    prof_ = prof;
+    dram_.set_profiler(prof);
 }
 
 void

@@ -25,6 +25,10 @@
 #include "mem/page_table.h"
 #include "mem/tlb.h"
 
+namespace gpushield::obs {
+class Profiler;
+}
+
 namespace gpushield {
 
 /** Latency and geometry parameters of the hierarchy. */
@@ -88,6 +92,15 @@ class MemoryHierarchy
      */
     void enqueue_dram(PAddr paddr, bool is_write, Callback done);
 
+    /** Attaches a stall-attribution profiler (propagated to the DRAM
+     *  controller); nullptr detaches. */
+    void set_profiler(obs::Profiler *prof);
+
+    /** True while at least one rejected DRAM request is waiting to
+     *  re-enqueue — the signal the profiler uses to attribute blocked
+     *  warps to DRAM back-pressure rather than plain memory latency. */
+    bool dram_backpressure() const { return pending_dram_retries_ > 0; }
+
     const MemHierConfig &config() const { return cfg_; }
     Cache &l1(CoreId core) { return *l1_[core]; }
     Tlb &l1_tlb(CoreId core) { return *l1_tlb_[core]; }
@@ -97,6 +110,10 @@ class MemoryHierarchy
     const StatSet &stats() const { return stats_; }
 
   private:
+    /** Re-enqueues a rejected DRAM request one cycle later, repeating
+     *  until accepted; keeps pending_dram_retries_ balanced. */
+    void schedule_dram_retry(PAddr paddr, bool is_write, Callback done);
+
     EventQueue &eq_;
     PageTable &pt_;
     MemHierConfig cfg_;
@@ -105,6 +122,8 @@ class MemoryHierarchy
     Cache l2_cache_;
     Tlb l2_tlb_;
     Dram dram_;
+    obs::Profiler *prof_ = nullptr;
+    unsigned pending_dram_retries_ = 0;
     StatSet stats_;
     // Interned per-access counters (resolved once; bumped per event).
     StatSet::Counter c_faults_, c_page_walks_, c_dram_reads_,

@@ -4,6 +4,7 @@
 
 #include "common/bitutil.h"
 #include "common/log.h"
+#include "obs/profiler.h"
 #include "shield/pointer.h"
 
 namespace gpushield {
@@ -19,6 +20,13 @@ BoundsCheckUnit::BoundsCheckUnit(const RCacheConfig &cfg, Cycle pipeline_slack)
       c_violations_(stats_.counter("violations")),
       c_stall_cycles_(stats_.counter("stall_cycles"))
 {
+}
+
+void
+BoundsCheckUnit::set_profiler(obs::Profiler *prof)
+{
+    prof_ = prof;
+    rcache_.set_profiler(prof);
 }
 
 void
@@ -102,6 +110,8 @@ BoundsCheckUnit::check(const BcuRequest &req)
             resp.region_end = b.base_addr + b.size;
             log(req, resp.kind);
         }
+        if (prof_ != nullptr)
+            prof_->on_bcu_check(resp.stall_cycles, resp.violation);
         return resp;
     }
 
@@ -142,6 +152,8 @@ BoundsCheckUnit::check(const BcuRequest &req)
         }
         // Offset comparison completes in the address-gather stage; no
         // exposed stall.
+        if (prof_ != nullptr)
+            prof_->on_bcu_check(resp.stall_cycles, resp.violation);
         return resp;
     }
 
@@ -203,6 +215,8 @@ BoundsCheckUnit::check(const BcuRequest &req)
     resp.stall_cycles = exposed_stall(req, check_latency);
     if (resp.stall_cycles > 0)
         c_stall_cycles_ += resp.stall_cycles;
+    if (prof_ != nullptr)
+        prof_->on_bcu_check(resp.stall_cycles, resp.violation);
     return resp;
 }
 

@@ -35,6 +35,10 @@
 #include "shield/rbt.h"
 #include "shield/rcache.h"
 
+namespace gpushield::obs {
+class Profiler;
+}
+
 namespace gpushield {
 
 /** Classification of a detected memory-safety violation. */
@@ -147,6 +151,10 @@ class BoundsCheckUnit
     /** Clears the violation log (read out by the host at kernel end). */
     void clear_violations() { violations_.clear(); }
 
+    /** Attaches a stall-attribution profiler (propagated to the
+     *  RCache); nullptr detaches. */
+    void set_profiler(obs::Profiler *prof);
+
     RCache &rcache() { return rcache_; }
     const RCache &rcache() const { return rcache_; }
     const StatSet &stats() const { return stats_; }
@@ -162,6 +170,7 @@ class BoundsCheckUnit
     Cycle exposed_stall(const BcuRequest &req, Cycle check_latency) const;
 
     RCache rcache_;
+    obs::Profiler *prof_ = nullptr;
     Cycle pipeline_slack_;
     std::unordered_map<KernelId, KernelState> kernels_;
     std::vector<Violation> violations_;

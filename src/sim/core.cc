@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/log.h"
+#include "obs/profiler.h"
 #include "shield/pointer.h"
 #include "sim/lsu.h"
 
@@ -39,12 +40,16 @@ Core::detach_kernel(KernelExec *kernel)
     if (kernel->launch->shield_enabled)
         bcu_.deregister_kernel(kernel->launch->kernel_id);
     // Kill any still-live workgroups (kernel aborts).
-    for (WorkgroupCtx &wg : slots_) {
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        WorkgroupCtx &wg = slots_[s];
         if (wg.live && wg.kernel == kernel) {
             warps_in_use_ -= static_cast<unsigned>(wg.warps.size());
             wg.live = false;
             wg.token.reset(); // invalidate in-flight completion callbacks
             --live_workgroups_;
+            if (profiler_ != nullptr)
+                profiler_->on_workgroup_end(
+                    id_, static_cast<unsigned>(s), eq_.now());
         }
     }
 }
@@ -146,6 +151,72 @@ Core::start_workgroup(KernelExec *kernel, std::uint32_t wg_index)
         kernel->start_cycle = eq_.now();
     }
     ++c_workgroups_started_;
+    if (profiler_ != nullptr)
+        profiler_->on_workgroup_start(
+            id_, static_cast<unsigned>(slot - slots_.begin()),
+            kernel->launch->kernel_id, wg_index, warps, eq_.now());
+}
+
+void
+Core::set_profiler(obs::Profiler *profiler)
+{
+    profiler_ = profiler;
+    bcu_.set_profiler(profiler);
+}
+
+void
+Core::profile_cycle()
+{
+    const Cycle now = eq_.now();
+    const bool backpressure = hier_.dram_backpressure();
+    for (std::size_t s = 0; s < slots_.size(); ++s) {
+        WorkgroupCtx &wg = slots_[s];
+        if (!wg.live)
+            continue;
+        for (std::size_t w = 0; w < wg.warps.size(); ++w) {
+            WarpState &warp = wg.warps[w];
+            obs::StallCause cause;
+            if (warp.profile_issued) {
+                warp.profile_issued = false;
+                cause = obs::StallCause::Issued;
+            } else {
+                switch (warp.status) {
+                  case WarpStatus::Finished:
+                    cause = obs::StallCause::NoWork;
+                    break;
+                  case WarpStatus::AtBarrier:
+                    cause = obs::StallCause::Barrier;
+                    break;
+                  case WarpStatus::Blocked:
+                    if (warp.profile_block_refill)
+                        cause = obs::StallCause::RcacheMiss;
+                    else if (backpressure)
+                        cause = obs::StallCause::DramBackpressure;
+                    else
+                        cause = obs::StallCause::MemPending;
+                    break;
+                  case WarpStatus::Ready:
+                  default:
+                    if (warp.ready_cycle > now) {
+                        // Waiting on its own result, regardless of any
+                        // concurrent front-end bubble.
+                        cause = obs::StallCause::Scoreboard;
+                    } else if (now < issue_busy_until_ &&
+                               now < bcu_busy_until_) {
+                        cause = obs::StallCause::BcuStall;
+                    } else {
+                        // Front-end structural: issue width exhausted,
+                        // LSU port occupied, or an instrumentation
+                        // bubble holding the issue stage.
+                        cause = obs::StallCause::LsuBusy;
+                    }
+                    break;
+                }
+            }
+            profiler_->on_warp_cycle(id_, static_cast<unsigned>(s),
+                                     static_cast<unsigned>(w), cause);
+        }
+    }
 }
 
 bool
@@ -230,6 +301,8 @@ Core::issue_one(WorkgroupCtx &wg, WarpState &warp)
         kernel->interp->step(warp, wg.shared_mem);
     ++kernel->hot.instructions;
     ++c_issued_;
+    if (profiler_ != nullptr)
+        warp.profile_issued = true;
 
     if (observer_ != nullptr) {
         observer_->on_issue(
@@ -299,6 +372,9 @@ Core::finish_warp(WorkgroupCtx &wg)
     wg.live = false;
     --live_workgroups_;
     warps_in_use_ -= static_cast<unsigned>(wg.warps.size());
+    if (profiler_ != nullptr)
+        profiler_->on_workgroup_end(
+            id_, static_cast<unsigned>(&wg - slots_.data()), eq_.now());
     KernelExec *kernel = wg.kernel;
     ++kernel->wgs_done;
     ++c_workgroups_finished_;
@@ -333,6 +409,9 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
     coalesce_into(op, cfg_.mem.l1.line_size, lines_scratch_);
     const std::vector<VAddr> &lines = lines_scratch_;
     kernel->hot.transactions += lines.size();
+    if (profiler_ != nullptr)
+        profiler_->on_coalesce(active_lanes(op),
+                               static_cast<unsigned>(lines.size()));
 
     // Software-tool instrumentation (baseline models) occupies issue
     // slots and adds shadow-metadata traffic.
@@ -350,11 +429,13 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
     auto remaining = std::make_shared<unsigned>(0);
     WarpState *warp_ptr = &warp;
     const bool is_load = !op.is_store;
+    bool refill_outstanding = false;
     std::weak_ptr<bool> alive = wg.token;
     auto on_done = [this, remaining, warp_ptr, alive]() {
         if (--*remaining == 0 && !alive.expired()) {
             warp_ptr->status = WarpStatus::Ready;
             warp_ptr->ready_cycle = eq_.now();
+            warp_ptr->profile_block_refill = false;
             note_ready(warp_ptr->ready_cycle);
         }
     };
@@ -398,12 +479,15 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
                 std::max(issue_busy_until_, now + resp.stall_cycles);
             lsu_busy_until_ =
                 std::max(lsu_busy_until_, now + resp.stall_cycles);
+            bcu_busy_until_ =
+                std::max(bcu_busy_until_, now + resp.stall_cycles);
             kernel->hot.bcu_stall_cycles += resp.stall_cycles;
         }
         if (resp.refill) {
             ++kernel->hot.rbt_refills;
             if (is_load) {
                 ++*remaining;
+                refill_outstanding = true;
                 hier_.access_physical(resp.refill_paddr, on_done);
             } else {
                 hier_.access_physical(resp.refill_paddr, [] {});
@@ -486,10 +570,12 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
     // Timing: loads block until data (and any RBT refill) returns;
     // stores retire through the store path next cycle.
     if (is_load) {
-        if (*remaining > 0)
+        if (*remaining > 0) {
             warp.status = WarpStatus::Blocked;
-        else
+            warp.profile_block_refill = refill_outstanding;
+        } else {
             warp.ready_cycle = now + cfg_.mem.l1_latency;
+        }
     } else {
         warp.ready_cycle = now + 1;
     }

@@ -27,6 +27,10 @@
 #include "sim/observer.h"
 #include "sim/warp.h"
 
+namespace gpushield::obs {
+class Profiler;
+}
+
 namespace gpushield {
 
 /** A kernel under execution on the GPU (shared across its cores). */
@@ -114,6 +118,19 @@ class Core
      *  nullptr detaches. Not owned. */
     void set_observer(IssueObserver *observer) { observer_ = observer; }
 
+    /** Attaches a stall-attribution profiler (propagated to the BCU and
+     *  RCache); nullptr detaches. Not owned. */
+    void set_profiler(obs::Profiler *profiler);
+
+    /**
+     * Attributes this cycle to a cause for every resident warp. Called
+     * by Gpu::run after all cores ticked but before the event queue
+     * advances, so the counted warp-cycles per workgroup exactly equal
+     * its residency (end − start). Only called while a profiler is
+     * attached.
+     */
+    void profile_cycle();
+
   private:
     struct WorkgroupCtx
     {
@@ -156,8 +173,11 @@ class Core
     unsigned warps_in_use_ = 0;
 
     IssueObserver *observer_ = nullptr;
+    obs::Profiler *profiler_ = nullptr;
     Cycle lsu_busy_until_ = 0;   //!< structural: one mem instr per cycle
     Cycle issue_busy_until_ = 0; //!< instrumentation / bubbles
+    Cycle bcu_busy_until_ = 0;   //!< the issue-busy share that is an
+                                 //!< exposed BCU bubble (attribution)
     int greedy_slot_ = -1;       //!< GTO: last-issued warp first
     int greedy_warp_ = -1;
 

@@ -1,6 +1,7 @@
 #include "sim/gpu.h"
 
 #include "common/log.h"
+#include "obs/profiler.h"
 
 namespace gpushield {
 
@@ -61,6 +62,15 @@ Gpu::run()
         bool any = false;
         for (auto &core : cores_)
             any |= core->tick();
+
+        // Attribute this cycle before the queue advances so workgroup
+        // residency and counted warp-cycles agree exactly.
+        if (profiler_ != nullptr) {
+            for (auto &core : cores_)
+                core->profile_cycle();
+            profiler_->end_cycle(eq_.now(), hier_.dram().total_queued());
+        }
+
         eq_.step();
 
         // Detach kernels that just completed/aborted so RCaches flush at
@@ -72,6 +82,11 @@ Gpu::run()
                         core->detach_kernel(l.exec.get());
                 l.detached = true;
                 any = true;
+                if (profiler_ != nullptr)
+                    profiler_->on_kernel_span(
+                        l.state->kernel_id, l.state->program.name,
+                        l.exec->start_cycle, l.exec->end_cycle,
+                        l.exec->aborted);
             }
         }
 
@@ -131,6 +146,15 @@ Gpu::bcu_stats() const
     for (const auto &core : cores_)
         agg.merge(core->bcu().stats());
     return agg;
+}
+
+void
+Gpu::set_profiler(obs::Profiler *profiler)
+{
+    profiler_ = profiler;
+    for (auto &core : cores_)
+        core->set_profiler(profiler);
+    hier_.set_profiler(profiler);
 }
 
 double

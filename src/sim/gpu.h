@@ -78,6 +78,14 @@ class Gpu
             core->set_observer(observer);
     }
 
+    /**
+     * Attaches a stall-attribution profiler (src/obs) to every core, the
+     * BCU/RCache pairs, and the memory hierarchy; nullptr detaches. The
+     * profiler observes only — attaching one never changes simulated
+     * timing. Not owned; must outlive run().
+     */
+    void set_profiler(obs::Profiler *profiler);
+
     Core &core(std::size_t i) { return *cores_[i]; }
     std::size_t num_cores() const { return cores_.size(); }
     MemoryHierarchy &hierarchy() { return hier_; }
@@ -101,6 +109,7 @@ class Gpu
     MemoryHierarchy hier_;
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<Launched> launched_;
+    obs::Profiler *profiler_ = nullptr;
 };
 
 } // namespace gpushield

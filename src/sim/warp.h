@@ -132,6 +132,12 @@ class WarpState
     WarpStatus status = WarpStatus::Ready;
     Cycle ready_cycle = 0;
     Cycle last_issue = 0; //!< for greedy-then-oldest ordering
+
+    /** Profiler scratch (written only while a profiler is attached):
+     *  issued this cycle / blocked on an access that needed an RBT
+     *  refill. See Core::profile_cycle. */
+    bool profile_issued = false;
+    bool profile_block_refill = false;
     /// @}
 
   private:

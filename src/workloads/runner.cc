@@ -33,9 +33,12 @@ collect_mem_stats(Gpu &gpu)
 RunOutcome
 run_workload(const GpuConfig &cfg, Driver &driver,
              const WorkloadInstance &instance, bool shield, bool use_static,
-             Cycle extra_cycles_per_mem, unsigned extra_transactions)
+             Cycle extra_cycles_per_mem, unsigned extra_transactions,
+             obs::Profiler *profiler)
 {
     Gpu gpu(cfg, driver);
+    if (profiler != nullptr)
+        gpu.set_profiler(profiler);
     LaunchState state = driver.launch(instance.make_config(shield, use_static));
     const std::size_t idx =
         gpu.launch(std::move(state), ~std::uint64_t{0},
@@ -56,9 +59,11 @@ MultiLaunchOutcome
 run_workload_n(const GpuConfig &cfg, Driver &driver,
                const WorkloadInstance &instance, unsigned launches,
                bool shield, bool use_static, Cycle extra_cycles_per_mem,
-               unsigned extra_transactions)
+               unsigned extra_transactions, obs::Profiler *profiler)
 {
     Gpu gpu(cfg, driver);
+    if (profiler != nullptr)
+        gpu.set_profiler(profiler);
     MultiLaunchOutcome out;
     for (unsigned i = 0; i < launches; ++i) {
         LaunchState state =

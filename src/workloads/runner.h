@@ -33,12 +33,14 @@ struct RunOutcome
  */
 StatSet collect_mem_stats(Gpu &gpu);
 
-/** Runs @p instance once on a freshly constructed GPU. */
+/** Runs @p instance once on a freshly constructed GPU. When
+ *  @p profiler is non-null it observes the run (obs/profiler.h). */
 RunOutcome run_workload(const GpuConfig &cfg, Driver &driver,
                         const WorkloadInstance &instance, bool shield,
                         bool use_static,
                         Cycle extra_cycles_per_mem = 0,
-                        unsigned extra_transactions = 0);
+                        unsigned extra_transactions = 0,
+                        obs::Profiler *profiler = nullptr);
 
 /**
  * Runs @p instance @p launches times back-to-back on one GPU (RCaches
@@ -60,7 +62,8 @@ MultiLaunchOutcome run_workload_n(const GpuConfig &cfg, Driver &driver,
                                   unsigned launches, bool shield,
                                   bool use_static,
                                   Cycle extra_cycles_per_mem = 0,
-                                  unsigned extra_transactions = 0);
+                                  unsigned extra_transactions = 0,
+                                  obs::Profiler *profiler = nullptr);
 
 } // namespace gpushield::workloads
 
