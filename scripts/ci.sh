@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # CI entry point: build, run the test suite, and smoke the sweep
 # harness. `--tsan` additionally rebuilds the harness under
-# ThreadSanitizer and re-runs the concurrency-sensitive pieces.
+# ThreadSanitizer and re-runs the concurrency-sensitive pieces;
+# `--asan` rebuilds the conformance subsystem and its regression tests
+# under AddressSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,6 +29,13 @@ cmp build/smoke.jsonl build/smoke-serial.jsonl
 # disabled-path invisibility.
 cmp build/smoke-serial.jsonl tests/golden/smoke.jsonl
 
+# Conformance smoke: every corpus workload differentially checked
+# against the functional oracle and the per-lane bounds oracle (zero
+# false negatives, zero image divergences), plus a short fuzz round
+# with planted out-of-bounds accesses. See docs/CONFORMANCE.md.
+./build/src/gpushield-conformance --suite corpus --quiet
+./build/src/gpushield-conformance --seeds 20 --quiet
+
 # Profile smoke: trace every single-kernel smoke cell, re-parse each
 # trace, and verify the stall-attribution invariant (--check).
 ./build/src/gpushield-profile --suite smoke \
@@ -45,6 +54,14 @@ if [[ "${1:-}" == "--tsan" ]]; then
     cmake --build build-tsan -j"$JOBS" --target test_harness gpushield-sweep
     ./build-tsan/tests/test_harness
     ./build-tsan/src/gpushield-sweep --suite smoke --jobs 4 --quiet
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+    cmake --preset asan
+    cmake --build build-asan -j"$JOBS" \
+        --target test_conform gpushield-conformance
+    ./build-asan/tests/test_conform
+    ./build-asan/src/gpushield-conformance --seeds 10 --quiet
 fi
 
 echo "ci: OK"

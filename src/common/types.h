@@ -24,7 +24,7 @@ using PAddr = std::uint64_t;
 /** Identifier of a memory buffer as assigned by the GPU driver (14-bit). */
 using BufferId = std::uint16_t;
 
-/** Identifier of a running kernel (12-bit in RCache entries). */
+/** Identifier of a running kernel (stored in full in RBT entries). */
 using KernelId = std::uint16_t;
 
 /** Identifier of a warp (sub-workgroup) within a core. */

@@ -1,0 +1,179 @@
+#include "conform/runner.h"
+
+#include <utility>
+
+#include "conform/oracle.h"
+#include "sim/oracle.h"
+#include "workloads/runner.h"
+
+namespace gpushield::conform {
+
+namespace {
+
+using workloads::RunOutcome;
+using workloads::WorkloadInstance;
+
+std::vector<std::vector<std::uint8_t>>
+snapshot(const Driver &driver, const WorkloadInstance &w)
+{
+    std::vector<std::vector<std::uint8_t>> out;
+    out.reserve(w.buffers.size());
+    for (const BufferHandle h : w.buffers) {
+        std::vector<std::uint8_t> bytes(driver.region(h).size);
+        driver.download(h, bytes.data(), bytes.size());
+        out.push_back(std::move(bytes));
+    }
+    return out;
+}
+
+} // namespace
+
+ConformCell
+corpus_cell(const workloads::BenchmarkDef &def)
+{
+    ConformCell c;
+    c.name = def.suite + "/" + def.name;
+    c.make = def.make;
+    c.cfg = nvidia_config();
+    return c;
+}
+
+ConformCell
+fuzz_cell(const FuzzKnobs &knobs)
+{
+    const FuzzKnobs k = resolve_knobs(knobs);
+    ConformCell c;
+    c.name = "fuzz/" + std::to_string(k.seed) + (k.plant ? "+oob" : "");
+    c.expect_violation = k.plant;
+    c.seed = k.seed * 31 + 7;
+    c.cfg = nvidia_config();
+    c.cfg.num_cores = 4; // small timing model: conformance is functional
+    const KernelProgram prog = fuzz_kernel(k);
+    c.make = [prog, k](Driver &driver) {
+        return fuzz_instance(driver, prog, k);
+    };
+    return c;
+}
+
+ConformCellResult
+run_conformance_cell(const ConformCell &cell)
+{
+    ConformCellResult r;
+    r.name = cell.name;
+    const auto fail = [&r](std::string msg) {
+        r.ok = false;
+        r.failures.push_back(std::move(msg));
+    };
+
+    std::vector<std::vector<std::uint8_t>> reference;
+    bool have_reference = false;
+
+    if (!cell.expect_violation) {
+        // Leg 1: functional oracle — the reference memory image.
+        try {
+            GpuDevice dev(cell.cfg.mem.page_size);
+            Driver driver(dev, cell.seed);
+            const WorkloadInstance w = cell.make(driver);
+            LaunchState state =
+                driver.launch(w.make_config(false, false));
+            const OracleResult fr = run_functional(state, driver);
+            driver.finish(state);
+            if (fr.deadlocked)
+                fail("functional oracle deadlocked");
+            reference = snapshot(driver, w);
+            have_reference = true;
+        } catch (const std::exception &e) {
+            fail(std::string("functional leg: ") + e.what());
+        }
+
+        // Leg 2: timing simulator with the shield off.
+        try {
+            GpuDevice dev(cell.cfg.mem.page_size);
+            Driver driver(dev, cell.seed);
+            const WorkloadInstance w = cell.make(driver);
+            const RunOutcome out = workloads::run_workload(
+                cell.cfg, driver, w, /*shield=*/false,
+                /*use_static=*/false);
+            if (out.result.aborted)
+                fail("shield-off leg aborted");
+            if (!out.result.violations.empty())
+                fail("shield-off leg logged violations");
+            if (have_reference && snapshot(driver, w) != reference) {
+                // Already diverges *without* the shield: the image is a
+                // function of warp scheduling (last-writer collisions).
+                // Image equality is unassertable; switch the shield
+                // legs to violation/oracle checking only.
+                r.schedule_dependent = true;
+                have_reference = false;
+            }
+        } catch (const std::exception &e) {
+            fail(std::string("shield-off leg: ") + e.what());
+        }
+    }
+
+    // Legs 3/4: shield on (and shield on + static analysis), each with
+    // the per-lane oracle attached.
+    for (const bool use_static : {false, true}) {
+        const char *leg = use_static ? "shield+static" : "shield";
+        try {
+            GpuDevice dev(cell.cfg.mem.page_size);
+            Driver driver(dev, cell.seed);
+            const WorkloadInstance w = cell.make(driver);
+            LaneOracle oracle(driver);
+            const RunOutcome out = workloads::run_workload(
+                cell.cfg, driver, w, /*shield=*/true, use_static, 0, 0,
+                nullptr, &oracle);
+            if (out.result.aborted)
+                fail(std::string(leg) + " leg aborted");
+
+            if (cell.expect_violation) {
+                r.violations += out.result.violations.size();
+                if (!use_static && out.result.violations.empty())
+                    fail("planted out-of-bounds access not detected");
+                if (!oracle.no_false_negatives()) {
+                    fail(std::string(leg) +
+                         ": oracle found false negatives");
+                    r.oracle_report += oracle.report();
+                }
+            } else {
+                if (!out.result.violations.empty())
+                    fail(std::string(leg) +
+                         " leg logged violations on a clean kernel");
+                if (have_reference && snapshot(driver, w) != reference) {
+                    r.image_match = false;
+                    fail(std::string(leg) +
+                         " memory image diverges from oracle");
+                }
+                if (!oracle.clean()) {
+                    fail(std::string(leg) +
+                         ": per-lane oracle disagrees");
+                    r.oracle_report += oracle.report();
+                }
+            }
+            r.conform.merge(oracle.to_statset());
+        } catch (const std::exception &e) {
+            fail(std::string(leg) + " leg: " + e.what());
+        }
+    }
+    return r;
+}
+
+bool
+ConformSuiteResult::all_ok() const
+{
+    for (const ConformCellResult &c : cells)
+        if (!c.ok)
+            return false;
+    return true;
+}
+
+std::uint64_t
+ConformSuiteResult::failures() const
+{
+    std::uint64_t n = 0;
+    for (const ConformCellResult &c : cells)
+        n += !c.ok;
+    return n;
+}
+
+} // namespace gpushield::conform

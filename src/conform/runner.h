@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Conformance runner: executes one workload several ways and diffs the
+ * outcomes.
+ *
+ * Clean cells run four legs, each on a freshly constructed device and
+ * driver with the same seed (so buffer layout, IDs and keys are
+ * identical):
+ *
+ *   1. functional oracle (shield off, no timing model) -> reference image
+ *   2. timing simulator, shield off                    -> image diff
+ *   3. timing simulator, shield on  + LaneOracle       -> image diff
+ *   4. timing simulator, shield on + static + oracle   -> image diff
+ *
+ * A clean cell passes when no leg aborts, no leg reports a violation,
+ * all final memory images are byte-identical, and the per-lane oracle
+ * observed no false negative, no unsuppressed out-of-bounds lane, and
+ * no truth violation at all. When leg 2 already diverges from leg 1
+ * the workload's image is schedule-dependent (last-writer collisions);
+ * image equality is then unassertable and the cell is checked on
+ * violations and the per-lane oracle only (schedule_dependent flag).
+ *
+ * Planted cells (one deliberate out-of-bounds access) run the two
+ * shield legs only — the unprotected legs would genuinely corrupt
+ * neighbouring buffers — and pass when the shield flags at least one
+ * violation and the oracle still sees zero false negatives.
+ */
+
+#ifndef GPUSHIELD_CONFORM_RUNNER_H
+#define GPUSHIELD_CONFORM_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "conform/fuzz.h"
+#include "sim/config.h"
+#include "workloads/suites.h"
+
+namespace gpushield::conform {
+
+/** One unit of conformance work. */
+struct ConformCell
+{
+    std::string name;
+    std::function<workloads::WorkloadInstance(Driver &)> make;
+    bool expect_violation = false; //!< planted out-of-bounds cell
+    std::uint64_t seed = 0xC0FFEEull; //!< driver seed (all legs)
+    GpuConfig cfg;
+};
+
+/** Outcome of one cell. */
+struct ConformCellResult
+{
+    std::string name;
+    bool ok = true;
+    std::vector<std::string> failures; //!< human-readable reasons
+    StatSet conform;            //!< merged oracle counters (shield legs)
+    std::uint64_t violations = 0; //!< shield-on violation count
+    bool image_match = true;
+    /** The shield-off timing leg already diverges from the sequential
+     *  functional oracle: the workload's final image is schedule-
+     *  dependent (e.g. last-writer collisions in permuted stores), so
+     *  image equality cannot be asserted for any leg. Violation and
+     *  per-lane-oracle checks still apply. */
+    bool schedule_dependent = false;
+    std::string oracle_report;  //!< non-empty only on oracle complaints
+};
+
+/** Builds a cell over a named corpus benchmark. */
+ConformCell corpus_cell(const workloads::BenchmarkDef &def);
+
+/** Builds a cell over a fuzz kernel (resolved knobs). */
+ConformCell fuzz_cell(const FuzzKnobs &knobs);
+
+/** Runs every leg of @p cell and classifies the outcome. */
+ConformCellResult run_conformance_cell(const ConformCell &cell);
+
+/** Whole-suite roll-up. */
+struct ConformSuiteResult
+{
+    std::vector<ConformCellResult> cells;
+    StatSet conform;            //!< merged across all cells
+
+    bool all_ok() const;
+    std::uint64_t failures() const;
+};
+
+} // namespace gpushield::conform
+
+#endif // GPUSHIELD_CONFORM_RUNNER_H

@@ -97,6 +97,8 @@ Driver::download(BufferHandle handle, void *out, std::size_t len,
         fatal("Driver::download: out of buffer range");
     const Translation t =
         dev_.page_table().translate(r.base + offset, /*is_write=*/false);
+    if (!t.ok)
+        fatal("Driver::download: unmapped buffer page");
     dev_.mem().read(t.paddr, out, len);
 }
 
@@ -224,23 +226,36 @@ Driver::launch(const LaunchConfig &cfg)
         state.ids_merged = true;
     }
 
-    // Assign (possibly shared) IDs and bounds per pointer argument.
+    // Assign (possibly shared) IDs and bounds per pointer argument. The
+    // RBT size field is 32 bits (Fig. 10), so a merged hull that would
+    // overflow it closes the group early (costing an extra ID) rather
+    // than silently truncating the bounds.
     std::vector<BufferId> arg_id(prog.args.size(), 0);
     std::vector<Bounds> arg_bounds(prog.args.size());
     std::vector<bool> arg_in_merged_group(prog.args.size(), false);
-    for (std::size_t g = 0; g < ptr_args.size(); g += group) {
-        const BufferId id = assign_unique_id();
-        const std::size_t end = std::min(g + group, ptr_args.size());
+    constexpr std::uint64_t kMaxEntrySize = 0xFFFFFFFFull;
+    for (std::size_t g = 0; g < ptr_args.size();) {
+        const std::size_t want = std::min(g + group, ptr_args.size());
         VAddr lo = ~VAddr{0};
         VAddr hi = 0;
         bool single_ro = false;
-        for (std::size_t k = g; k < end; ++k) {
-            const KernelArgSpec &spec = prog.args[ptr_args[k]];
+        std::size_t end = g;
+        while (end < want) {
+            const KernelArgSpec &spec = prog.args[ptr_args[end]];
             const VaRegion &r = region(cfg.buffers[spec.buffer_index]);
-            lo = std::min(lo, r.base);
-            hi = std::max(hi, r.base + r.size);
+            const VAddr nlo = std::min(lo, r.base);
+            const VAddr nhi = std::max(hi, r.base + r.size);
+            if (end > g && nhi - nlo > kMaxEntrySize)
+                break;
+            lo = nlo;
+            hi = nhi;
             single_ro = r.read_only;
+            ++end;
         }
+        if (hi - lo > kMaxEntrySize)
+            fatal("Driver::launch: buffer exceeds the 32-bit RBT size "
+                  "field (" + prog.args[ptr_args[g]].name + ")");
+        const BufferId id = assign_unique_id();
         Bounds merged;
         merged.valid = true;
         merged.kernel = state.kernel_id;
@@ -254,6 +269,7 @@ Driver::launch(const LaunchConfig &cfg)
             arg_in_merged_group[ptr_args[k]] = end - g > 1;
         }
         state.rbt->set(id, merged);
+        g = end;
     }
 
     // Method A binding table: one entry per pointer argument, in
@@ -262,6 +278,9 @@ Driver::launch(const LaunchConfig &cfg)
     for (const int a : ptr_args) {
         const VaRegion &r =
             region(cfg.buffers[prog.args[a].buffer_index]);
+        if (r.size > kMaxEntrySize)
+            fatal("Driver::launch: buffer exceeds the 32-bit binding-"
+                  "table size field (" + prog.args[a].name + ")");
         Bounds bt;
         bt.base_addr = r.base;
         bt.size = static_cast<std::uint32_t>(r.size);
@@ -332,6 +351,9 @@ Driver::launch(const LaunchConfig &cfg)
             static_cast<std::uint64_t>(lv.elem_size) * lv.elems *
             total_threads;
         const VaRegion r = dev_.local_alloc().alloc(bytes, false, lv.name);
+        if (r.size > kMaxEntrySize)
+            fatal("Driver::launch: local variable exceeds the 32-bit RBT "
+                  "size field (" + lv.name + ")");
 
         const BufferId id = assign_unique_id();
         const BaseRef ref{BaseKind::Local, static_cast<int>(l)};
@@ -351,6 +373,9 @@ Driver::launch(const LaunchConfig &cfg)
 
     // Heap: one coarse entry covering the whole preset heap (§5.2.1).
     if (cfg.heap_bytes > 0) {
+        if (cfg.heap_bytes > kMaxEntrySize)
+            fatal("Driver::launch: heap limit exceeds the 32-bit RBT "
+                  "size field");
         const VaRegion r =
             dev_.heap_alloc().alloc(cfg.heap_bytes, false, "heap");
         state.heap_base = r.base;
@@ -382,7 +407,9 @@ Driver::device_malloc(LaunchState &state, std::uint64_t bytes)
         fatal("device_malloc: heap limit not configured "
               "(cudaLimitMallocHeapSize)");
     const VAddr at = align_up(state.heap_cursor, 16);
-    if (at + bytes > state.heap_base + state.heap_bytes)
+    // Overflow-safe limit check: `at + bytes` wraps for huge requests.
+    const VAddr heap_end = state.heap_base + state.heap_bytes;
+    if (at > heap_end || bytes > heap_end - at)
         return 0; // allocation failure, like CUDA malloc returning NULL
     state.heap_cursor = at + bytes;
     ++c_device_mallocs_;

@@ -1,11 +1,13 @@
 #include "harness/executor.h"
 
 #include <atomic>
+#include <optional>
 #include <chrono>
 #include <mutex>
 #include <ostream>
 
 #include "common/log.h"
+#include "conform/oracle.h"
 #include "harness/thread_pool.h"
 #include "obs/profiler.h"
 #include "workloads/runner.h"
@@ -55,7 +57,8 @@ placement_masks(Placement placement, unsigned num_cores)
 /** Two kernels co-scheduled on one GPU; cycles = makespan (§6.2). */
 void
 run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
-              RunRecord &r, obs::Profiler *prof)
+              RunRecord &r, obs::Profiler *prof,
+              conform::LaneOracle *oracle)
 {
     const GpuConfig &cfg = spec.config(cell.config);
     const BenchmarkDef &a = find_in_set(cell.set, cell.workload);
@@ -68,6 +71,8 @@ run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
     Gpu gpu(cfg, driver);
     if (prof != nullptr)
         gpu.set_profiler(prof);
+    if (oracle != nullptr)
+        gpu.set_lane_observer(oracle);
     const std::size_t ia =
         gpu.launch(driver.launch(wa.make_config(cell.shield, cell.use_static)),
                    mask_a);
@@ -92,7 +97,8 @@ run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
 
 void
 run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
-                RunRecord &r, obs::Profiler *prof)
+                RunRecord &r, obs::Profiler *prof,
+                conform::LaneOracle *oracle)
 {
     const GpuConfig &cfg = spec.config(cell.config);
     const BenchmarkDef &def = find_in_set(cell.set, cell.workload);
@@ -113,7 +119,8 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
     }
 
     const workloads::RunOutcome out = workloads::run_workload(
-        cfg, driver, inst, cell.shield, cell.use_static, 0, 0, prof);
+        cfg, driver, inst, cell.shield, cell.use_static, 0, 0, prof,
+        oracle);
     r.cycles = out.result.cycles();
     r.violations = out.result.violations.size();
     r.aborted = out.result.aborted;
@@ -129,7 +136,8 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
 } // namespace
 
 RunRecord
-run_cell(const SweepSpec &spec, std::size_t index, bool profile)
+run_cell(const SweepSpec &spec, std::size_t index, bool profile,
+         bool conform)
 {
     const CellSpec &cell = spec.cells.at(index);
 
@@ -152,12 +160,21 @@ run_cell(const SweepSpec &spec, std::size_t index, bool profile)
         Driver driver(dev, r.seed);
         obs::Profiler prof;
         obs::Profiler *p = profile ? &prof : nullptr;
+        // The oracle only has verdicts to second-guess on shield cells,
+        // and run_workload_n has no observer seam (launches > 1 reuses
+        // one device across launches) — leave those cells unconformed.
+        std::optional<conform::LaneOracle> oracle;
+        if (conform && cell.shield && cell.launches <= 1)
+            oracle.emplace(driver);
+        conform::LaneOracle *o = oracle ? &*oracle : nullptr;
         if (cell.workload_b.empty())
-            run_single_cell(spec, cell, driver, r, p);
+            run_single_cell(spec, cell, driver, r, p, o);
         else
-            run_pair_cell(spec, cell, driver, r, p);
+            run_pair_cell(spec, cell, driver, r, p, o);
         if (profile)
             r.obs = prof.summary().to_statset();
+        if (o != nullptr)
+            r.conform = o->to_statset();
         r.ok = true;
     } catch (const std::exception &e) {
         r.ok = false;
@@ -193,7 +210,7 @@ run_sweep(const SweepSpec &spec, const SweepOptions &opts)
     std::mutex progress_mu;
     std::atomic<std::size_t> done{0};
     const auto run_one = [&](std::size_t i) {
-        RunRecord r = run_cell(spec, i, opts.profile);
+        RunRecord r = run_cell(spec, i, opts.profile, opts.conform);
         const std::size_t n = ++done;
         if (opts.progress != nullptr) {
             std::lock_guard<std::mutex> lock(progress_mu);

@@ -30,6 +30,12 @@ struct SweepOptions
      *  an extra JSONL field, and golden-file comparisons expect the
      *  unprofiled form. */
     bool profile = false;
+    /** Attach the per-lane conformance oracle (conform::LaneOracle) to
+     *  every shield cell and record its roll-up in RunRecord::conform.
+     *  Off by default for the same reason as profile: the extra JSONL
+     *  field would break golden-file comparisons. Baseline (shield-off)
+     *  and multi-launch cells are unaffected. */
+    bool conform = false;
 };
 
 /** A finished sweep: the records plus how the run went operationally. */
@@ -50,10 +56,12 @@ struct SweepResult
  * Runs cell @p index of @p spec in isolation and returns its record.
  * Never throws: failures come back as !ok records. With @p profile the
  * cell runs under a private obs::Profiler and the record carries the
- * stall-attribution roll-up in RunRecord::obs.
+ * stall-attribution roll-up in RunRecord::obs. With @p conform, shield
+ * cells additionally run under a conform::LaneOracle and the record
+ * carries its counters in RunRecord::conform.
  */
 RunRecord run_cell(const SweepSpec &spec, std::size_t index,
-                   bool profile = false);
+                   bool profile = false, bool conform = false);
 
 /** Runs the whole grid; records are ordered by cell index. */
 SweepResult run_sweep(const SweepSpec &spec, const SweepOptions &opts = {});

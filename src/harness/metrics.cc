@@ -62,7 +62,8 @@ operator==(const RunRecord &a, const RunRecord &b)
            a.cycles == b.cycles && a.violations == b.violations &&
            a.l1_rcache_hit_rate == b.l1_rcache_hit_rate &&
            a.rcache == b.rcache && a.bcu == b.bcu && a.mem == b.mem &&
-           a.kernel == b.kernel && a.obs == b.obs;
+           a.kernel == b.kernel && a.obs == b.obs &&
+           a.conform == b.conform;
 }
 
 double
@@ -198,6 +199,8 @@ MetricsRegistry::write_jsonl(std::ostream &os) const
         // (and the golden files diffed in CI) byte-identical.
         if (!r.obs.counters().empty())
             os << ",\"obs\":" << stat_set_json(r.obs);
+        if (!r.conform.counters().empty())
+            os << ",\"conform\":" << stat_set_json(r.conform);
         os << "}\n";
     }
 }
@@ -469,6 +472,8 @@ MetricsRegistry::read_jsonl(std::istream &is)
                 r.kernel = cur.parse_stat_set();
             else if (field == "obs")
                 r.obs = cur.parse_stat_set();
+            else if (field == "conform")
+                r.conform = cur.parse_stat_set();
             else
                 throw SimulationError("jsonl: unknown field " + field);
         } while (cur.consume(','));

@@ -59,6 +59,12 @@ struct RunRecord
      *  "obs" field is emitted only when non-empty, so unprofiled sweeps
      *  serialize byte-identically to pre-profiler records. */
     StatSet obs;
+    /** Per-lane conformance roll-up (conform::LaneOracle::to_statset());
+     *  empty unless the sweep ran with SweepOptions::conform on a
+     *  shield cell. Like "obs", the JSONL field is emitted only when
+     *  non-empty, so unconformed sweeps (and the golden files diffed in
+     *  CI) serialize byte-identically. */
+    StatSet conform;
 };
 
 bool operator==(const RunRecord &a, const RunRecord &b);

@@ -33,6 +33,8 @@ usage(const char *argv0)
                  "  --csv PATH     write CSV records ('-' = stdout)\n"
                  "  --profile      attach the stall-attribution profiler\n"
                  "                 (adds the \"obs\" JSONL field)\n"
+                 "  --conform      attach the per-lane conformance oracle\n"
+                 "                 to shield cells (adds \"conform\")\n"
                  "  --list         list available suites\n"
                  "  --quiet        suppress per-cell progress\n",
                  argv0, ThreadPool::hardware_jobs());
@@ -66,7 +68,7 @@ main(int argc, char **argv)
 {
     std::string suite_name, jsonl_path, csv_path;
     unsigned jobs = ThreadPool::hardware_jobs();
-    bool quiet = false, list = false, profile = false;
+    bool quiet = false, list = false, profile = false, conform = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -88,6 +90,8 @@ main(int argc, char **argv)
             csv_path = value();
         else if (arg == "--profile")
             profile = true;
+        else if (arg == "--conform")
+            conform = true;
         else if (arg == "--list")
             list = true;
         else if (arg == "--quiet")
@@ -116,6 +120,7 @@ main(int argc, char **argv)
     opts.jobs = jobs == 0 ? 1 : jobs;
     opts.progress = quiet ? nullptr : &std::cerr;
     opts.profile = profile;
+    opts.conform = conform;
 
     const SweepResult result = run_sweep(spec, opts);
 

@@ -194,7 +194,7 @@ BoundsCheckUnit::check(const BcuRequest &req)
         resp.violation = true;
         resp.kind = ViolationKind::InvalidEntry;
         log(req, resp.kind);
-    } else if ((bounds.kernel & 0xFFF) != (req.kernel & 0xFFF)) {
+    } else if (bounds.kernel != req.kernel) {
         resp.violation = true;
         resp.kind = ViolationKind::KernelMismatch;
         log(req, resp.kind);

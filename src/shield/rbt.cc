@@ -27,7 +27,7 @@ RegionBoundsTable::set(BufferId id, const Bounds &bounds)
     word0 = insert_bits(word0, kReadOnlyBit, 1, bounds.read_only ? 1 : 0);
     const std::uint64_t word1 =
         static_cast<std::uint64_t>(bounds.size) |
-        (static_cast<std::uint64_t>(bounds.kernel & 0xFFF) << 32);
+        (static_cast<std::uint64_t>(bounds.kernel) << 32);
     mem_.write_as<std::uint64_t>(at, word0);
     mem_.write_as<std::uint64_t>(at + 8, word1);
 }
@@ -43,7 +43,7 @@ RegionBoundsTable::get(BufferId id) const
     b.read_only = bits(word0, kReadOnlyBit, 1) != 0;
     b.base_addr = word0 & kVAddrMask;
     b.size = static_cast<std::uint32_t>(word1 & 0xFFFFFFFFull);
-    b.kernel = static_cast<KernelId>(bits(word1, 32, 12));
+    b.kernel = static_cast<KernelId>(bits(word1, 32, 16));
     return b;
 }
 

@@ -27,7 +27,7 @@ struct Bounds
     std::uint32_t size = 0;  //!< buffer size in bytes
     bool valid = false;
     bool read_only = false;
-    KernelId kernel = 0;     //!< owning kernel (12 bits kept)
+    KernelId kernel = 0;     //!< owning kernel (full 16-bit ID kept)
 
     /** True when [addr, addr+bytes) lies inside the region. */
     bool

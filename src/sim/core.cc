@@ -447,8 +447,11 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
     const bool shield = launch.shield_enabled;
     const bool dcache_probe_hit =
         !lines.empty() && hier_.l1(id_).probe(lines.front());
+    MemCheckEvent ev;
+    bool abort_now = false;
     if (shield && op.instr->check == CheckMode::StaticSafe) {
         ++kernel->hot.checks_elided;
+        ev.elided = true;
     } else if (shield &&
                (op.has_bt ||
                 ptr_class(op.pointer) != PtrClass::Unprotected)) {
@@ -512,20 +515,37 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
             }
             if (!req.silent) {
                 ++kernel->hot.violations;
-                if (cfg_.precise_exceptions) {
-                    // §5.5.2: precise-exception GPUs raise a fault at
-                    // the offending instruction instead of logging.
-                    abort_kernel(kernel);
-                    return;
-                }
+                // §5.5.2: precise-exception GPUs raise a fault at the
+                // offending instruction instead of logging. Deferred
+                // past the lane-observer hook below.
+                abort_now = cfg_.precise_exceptions;
             } else {
                 kernel->hot.guard_suppressed_lanes +=
                     static_cast<std::uint64_t>(
                         std::popcount(suppress_mask));
             }
         }
+        ev.checked = true;
+        ev.violation = resp.violation;
+        ev.silent = req.silent;
+        ev.kind = resp.kind;
     } else if (shield) {
         ++kernel->hot.checks_skipped_unprotected;
+        ev.skipped_unprotected = true;
+    }
+
+    if (lane_obs_ != nullptr) {
+        ev.kernel = launch.kernel_id;
+        ev.core = id_;
+        ev.wg_index = warp.wg_index();
+        ev.warp_in_wg = warp.warp_in_wg();
+        ev.op = &op;
+        ev.suppress_mask = suppress_mask;
+        lane_obs_->on_mem_check(ev);
+    }
+    if (abort_now) {
+        abort_kernel(kernel);
+        return;
     }
 
     // --- Memory traffic (squashed entirely when every lane faults;

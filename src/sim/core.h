@@ -118,6 +118,10 @@ class Core
      *  nullptr detaches. Not owned. */
     void set_observer(IssueObserver *observer) { observer_ = observer; }
 
+    /** Attaches a per-lane check observer (conformance oracle hook);
+     *  nullptr detaches. Not owned. */
+    void set_lane_observer(LaneObserver *obs) { lane_obs_ = obs; }
+
     /** Attaches a stall-attribution profiler (propagated to the BCU and
      *  RCache); nullptr detaches. Not owned. */
     void set_profiler(obs::Profiler *profiler);
@@ -173,6 +177,7 @@ class Core
     unsigned warps_in_use_ = 0;
 
     IssueObserver *observer_ = nullptr;
+    LaneObserver *lane_obs_ = nullptr;
     obs::Profiler *profiler_ = nullptr;
     Cycle lsu_busy_until_ = 0;   //!< structural: one mem instr per cycle
     Cycle issue_busy_until_ = 0; //!< instrumentation / bubbles

@@ -31,6 +31,11 @@ Gpu::launch(LaunchState state, std::uint64_t core_mask,
     entry.exec->start_cycle = eq_.now();
     entry.exec->end_cycle = eq_.now();
 
+    if (lane_obs_ != nullptr) {
+        entry.exec->interp->set_lane_observer(lane_obs_);
+        lane_obs_->on_launch(*entry.state);
+    }
+
     for (auto &core : cores_)
         if ((core_mask >> core->id()) & 1)
             core->attach_kernel(entry.exec.get());
@@ -155,6 +160,16 @@ Gpu::set_profiler(obs::Profiler *profiler)
     for (auto &core : cores_)
         core->set_profiler(profiler);
     hier_.set_profiler(profiler);
+}
+
+void
+Gpu::set_lane_observer(LaneObserver *obs)
+{
+    lane_obs_ = obs;
+    for (auto &core : cores_)
+        core->set_lane_observer(obs);
+    for (Launched &l : launched_)
+        l.exec->interp->set_lane_observer(obs);
 }
 
 double

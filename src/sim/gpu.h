@@ -86,6 +86,15 @@ class Gpu
      */
     void set_profiler(obs::Profiler *profiler);
 
+    /**
+     * Attaches a per-lane observer (conformance oracle, sim/observer.h)
+     * to every core and to the interpreter of every subsequent launch;
+     * nullptr detaches. Attach before launch() so the observer sees the
+     * kernel's on_launch notification. Observes only — never changes
+     * simulated behaviour. Not owned; must outlive run().
+     */
+    void set_lane_observer(LaneObserver *obs);
+
     Core &core(std::size_t i) { return *cores_[i]; }
     std::size_t num_cores() const { return cores_.size(); }
     MemoryHierarchy &hierarchy() { return hier_; }
@@ -110,6 +119,7 @@ class Gpu
     std::vector<std::unique_ptr<Core>> cores_;
     std::vector<Launched> launched_;
     obs::Profiler *profiler_ = nullptr;
+    LaneObserver *lane_obs_ = nullptr;
 };
 
 } // namespace gpushield

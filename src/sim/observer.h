@@ -14,9 +14,13 @@
 
 #include "common/types.h"
 #include "isa/ir.h"
+#include "shield/bcu.h"
 #include "sim/interp.h"
+#include "sim/warp.h"
 
 namespace gpushield {
+
+struct LaunchState;
 
 /** Callback interface invoked at instruction issue. */
 class IssueObserver
@@ -35,6 +39,55 @@ class IssueObserver
     virtual void on_issue(CoreId core, KernelId kernel, WarpId warp,
                           int pc, const Instr &instr,
                           const MemOp *mem) = 0;
+};
+
+/**
+ * Everything the LSU/BCU stage knows about one global memory
+ * instruction, handed to a LaneObserver right after the warp-granular
+ * verdict and before the functional effect (or a precise-exception
+ * abort) is applied. `op` is only valid for the duration of the call.
+ */
+struct MemCheckEvent
+{
+    KernelId kernel = 0;
+    CoreId core = 0;
+    std::uint32_t wg_index = 0;   //!< workgroup (CTA) index in the grid
+    std::uint32_t warp_in_wg = 0; //!< warp position inside the workgroup
+    const MemOp *op = nullptr;
+
+    bool checked = false;             //!< the BCU ran a runtime check
+    bool elided = false;              //!< CheckMode::StaticSafe (Type 1)
+    bool skipped_unprotected = false; //!< unprotected pointer, no check
+    bool violation = false;           //!< warp-granular BCU verdict
+    bool silent = false;              //!< §6.4 guard-replaced instruction
+    ViolationKind kind = ViolationKind::OutOfBounds;
+    LaneMask suppress_mask = 0;       //!< lanes the core squashes
+};
+
+/**
+ * Per-lane observation interface (conformance oracle hook). Attached
+ * via Gpu::set_lane_observer with the same nullable-pointer discipline
+ * as obs::Profiler: the disabled path costs one branch, and an attached
+ * observer sees everything but never changes simulated behaviour.
+ */
+class LaneObserver
+{
+  public:
+    virtual ~LaneObserver() = default;
+
+    /** A kernel was launched on the observed GPU. */
+    virtual void on_launch(const LaunchState &state) = 0;
+
+    /**
+     * @p warp is about to execute @p instr (post-reconvergence, before
+     * any register is written), so source registers still hold their
+     * pre-instruction values.
+     */
+    virtual void on_step(KernelId kernel, const WarpState &warp,
+                         const Instr &instr) = 0;
+
+    /** The warp-granular bounds verdict for one memory instruction. */
+    virtual void on_mem_check(const MemCheckEvent &ev) = 0;
 };
 
 } // namespace gpushield

@@ -34,11 +34,13 @@ RunOutcome
 run_workload(const GpuConfig &cfg, Driver &driver,
              const WorkloadInstance &instance, bool shield, bool use_static,
              Cycle extra_cycles_per_mem, unsigned extra_transactions,
-             obs::Profiler *profiler)
+             obs::Profiler *profiler, LaneObserver *lane_obs)
 {
     Gpu gpu(cfg, driver);
     if (profiler != nullptr)
         gpu.set_profiler(profiler);
+    if (lane_obs != nullptr)
+        gpu.set_lane_observer(lane_obs);
     LaunchState state = driver.launch(instance.make_config(shield, use_static));
     const std::size_t idx =
         gpu.launch(std::move(state), ~std::uint64_t{0},
