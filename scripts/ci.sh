@@ -2,8 +2,8 @@
 # CI entry point: build, run the test suite, and smoke the sweep
 # harness. `--tsan` additionally rebuilds the harness under
 # ThreadSanitizer and re-runs the concurrency-sensitive pieces;
-# `--asan` rebuilds the conformance subsystem and its regression tests
-# under AddressSanitizer.
+# `--asan` rebuilds the conformance and multi-tenant service
+# subsystems and their regression tests under AddressSanitizer.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,6 +41,15 @@ cmp build/smoke-serial.jsonl tests/golden/smoke.jsonl
 ./build/src/gpushield-profile --suite smoke \
     --out-dir build/profile-smoke --check
 
+# Service smoke: 2-tenant adversarial battery in both scheduler modes.
+# Gate: zero cross-tenant escapes (the binary exits 1 on any escape),
+# plus a quick fairness-bench run to keep the JSON schema exercised.
+# See docs/SERVICE.md.
+./build/src/gpushield-service --attacks --quiet
+./build/src/gpushield-service --attacks --mode cosched --quiet
+./build/src/gpushield-service --fairness --quick --quiet \
+    --json build/service-fairness-smoke.json
+
 # Perf smoke: Release build, simulator-throughput microbenchmark.
 # Refreshes BENCH_sim_throughput.json (committed as the baseline).
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
@@ -59,9 +68,12 @@ fi
 if [[ "${1:-}" == "--asan" ]]; then
     cmake --preset asan
     cmake --build build-asan -j"$JOBS" \
-        --target test_conform gpushield-conformance
+        --target test_conform test_service gpushield-conformance \
+        gpushield-service
     ./build-asan/tests/test_conform
+    ./build-asan/tests/test_service
     ./build-asan/src/gpushield-conformance --seeds 10 --quiet
+    ./build-asan/src/gpushield-service --attacks --quiet
 fi
 
 echo "ci: OK"

@@ -17,8 +17,10 @@ to_string(LaunchStatus status)
     return "unknown";
 }
 
-Context::Context(const GpuConfig &config, std::uint64_t seed)
-    : config_(config), device_(config.mem.page_size), driver_(device_, seed)
+Context::Context(const GpuConfig &config, std::uint64_t seed,
+                 std::size_t id_space)
+    : config_(config), device_(config.mem.page_size),
+      driver_(device_, seed, id_space)
 {
 }
 
@@ -27,13 +29,6 @@ Context::malloc(std::uint64_t bytes, const BufferDesc &desc)
 {
     return driver_.create_buffer(bytes, desc.read_only, desc.pow2,
                                  desc.label);
-}
-
-Buffer
-Context::malloc(std::uint64_t bytes, bool read_only, bool pow2,
-                std::string label)
-{
-    return driver_.create_buffer(bytes, read_only, pow2, std::move(label));
 }
 
 void
@@ -56,9 +51,10 @@ Context::address_of(Buffer buffer) const
     return driver_.region(buffer).base;
 }
 
-LaunchResult
-Context::launch(const KernelProgram &program, Grid grid,
-                const std::vector<Arg> &args, const LaunchOptions &options)
+LaunchConfig
+make_launch_config(const KernelProgram &program, Grid grid,
+                   const std::vector<Arg> &args,
+                   const LaunchOptions &options)
 {
     // Host-API misuse throws (the contract in the header); everything
     // the simulated program does is reported via LaunchResult::status.
@@ -98,6 +94,14 @@ Context::launch(const KernelProgram &program, Grid grid,
             cfg.scalar_static[i] = args[i].scalar_static();
         }
     }
+    return cfg;
+}
+
+LaunchResult
+Context::launch(const KernelProgram &program, Grid grid,
+                const std::vector<Arg> &args, const LaunchOptions &options)
+{
+    const LaunchConfig cfg = make_launch_config(program, grid, args, options);
 
     Gpu gpu(config_, driver_);
     if (observer_ != nullptr)
@@ -113,10 +117,19 @@ Context::launch(const KernelProgram &program, Grid grid,
         gpu.set_profiler(profiler_.get());
     }
 
-    const std::size_t idx =
-        gpu.launch(driver_.launch(cfg), options.core_mask);
-
     LaunchResult result;
+    std::size_t idx = 0;
+    try {
+        // Driver-side launch setup can fail recoverably (RBT / kernel-ID
+        // exhaustion): the kernel never starts and no launch state
+        // exists, so report the error without touching the GPU.
+        idx = gpu.launch(driver_.launch(cfg), options.core_mask);
+    } catch (const SimulationError &e) {
+        result.status = LaunchStatus::Error;
+        result.status_message = e.what();
+        return result;
+    }
+
     try {
         gpu.run();
     } catch (const SimulationError &e) {

@@ -177,6 +177,18 @@ enum class LaunchStatus : std::uint8_t {
 /** Stable lower-case spelling of @p status. */
 const char *to_string(LaunchStatus status);
 
+/**
+ * Binds @p args to @p program positionally and returns the driver-level
+ * launch configuration. Shared by Context::launch and the multi-tenant
+ * service front end (src/service/), which drives per-tenant Drivers
+ * directly. The returned config aliases @p program — the program must
+ * outlive any Driver::launch performed with it.
+ * @throws std::invalid_argument on argument count/kind mismatch.
+ */
+LaunchConfig make_launch_config(const KernelProgram &program, Grid grid,
+                                const std::vector<Arg> &args,
+                                const LaunchOptions &options);
+
 /** Result of a synchronous launch. */
 struct LaunchResult
 {
@@ -201,18 +213,16 @@ struct LaunchResult
 class Context
 {
   public:
+    /** @param id_space usable buffer-ID count forwarded to the driver
+     *        (shrinkable to exercise §6.3 merging and RBT-exhaustion
+     *        error reporting). */
     explicit Context(const GpuConfig &config = nvidia_config(),
-                     std::uint64_t seed = 0xD81EE5ull);
+                     std::uint64_t seed = 0xD81EE5ull,
+                     std::size_t id_space = kNumBufferIds);
 
     /// @name Memory management
     /// @{
     Buffer malloc(std::uint64_t bytes, const BufferDesc &desc = {});
-
-    /** @deprecated Bool-flag form; use the BufferDesc overload. Will be
-     *  removed next release. */
-    [[deprecated("use malloc(bytes, BufferDesc) instead")]]
-    Buffer malloc(std::uint64_t bytes, bool read_only, bool pow2 = false,
-                  std::string label = {});
 
     void upload(Buffer buffer, const void *data, std::size_t len,
                 std::uint64_t offset = 0);

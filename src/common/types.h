@@ -27,6 +27,10 @@ using BufferId = std::uint16_t;
 /** Identifier of a running kernel (stored in full in RBT entries). */
 using KernelId = std::uint16_t;
 
+/** Identifier of a service tenant (multi-tenant mode, src/service/).
+ *  Tenant 0 is the implicit single-tenant default. */
+using TenantId = std::uint16_t;
+
 /** Identifier of a warp (sub-workgroup) within a core. */
 using WarpId = std::uint32_t;
 

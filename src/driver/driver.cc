@@ -39,15 +39,42 @@ GpuDevice::rbt_base(KernelId kernel) const
            static_cast<PAddr>(kernel) * RegionBoundsTable::kTableBytes;
 }
 
+namespace {
+
+DriverPartition
+legacy_partition(std::size_t id_space)
+{
+    if (id_space < 2 || id_space > kNumBufferIds)
+        fatal("Driver: invalid buffer-ID space size");
+    DriverPartition part;
+    part.id_first = 1;
+    part.id_count = id_space - 1;
+    return part;
+}
+
+} // namespace
+
 Driver::Driver(GpuDevice &dev, std::uint64_t seed, std::size_t id_space)
-    : dev_(dev), rng_(seed), id_space_(id_space),
+    : Driver(dev, legacy_partition(id_space), seed)
+{
+}
+
+Driver::Driver(GpuDevice &dev, const DriverPartition &part,
+               std::uint64_t seed)
+    : dev_(dev), rng_(seed), part_(part),
+      next_kernel_id_(part.kernel_first),
       c_buffers_created_(stats_.counter("buffers_created")),
       c_launches_(stats_.counter("launches")),
       c_ids_assigned_(stats_.counter("ids_assigned")),
       c_device_mallocs_(stats_.counter("device_mallocs"))
 {
-    if (id_space_ < 2 || id_space_ > kNumBufferIds)
-        fatal("Driver: invalid buffer-ID space size");
+    if (part_.id_first < 1 || part_.id_count < 1 ||
+        part_.id_first + part_.id_count > kNumBufferIds)
+        fatal("Driver: invalid buffer-ID partition");
+    if (part_.kernel_first < 1 || part_.kernel_count < 1 ||
+        static_cast<std::size_t>(part_.kernel_first) + part_.kernel_count >
+            0x10000)
+        fatal("Driver: invalid kernel-ID partition");
 }
 
 BufferHandle
@@ -105,19 +132,51 @@ Driver::download(BufferHandle handle, void *out, std::size_t len,
 BufferId
 Driver::assign_unique_id()
 {
-    // Random-but-unique 14-bit IDs (§5.2.4). ID 0 is reserved so a
-    // zeroed RBT entry can never alias a live buffer.
-    if (used_ids_.size() >= id_space_ - 1)
-        fatal("Driver: buffer ID space exhausted");
+    // Random-but-unique 14-bit IDs (§5.2.4) drawn from this driver's
+    // partition. ID 0 is reserved globally so a zeroed RBT entry can
+    // never alias a live buffer. Exhaustion is a recoverable,
+    // per-tenant condition (a hostile client can trigger it at will),
+    // so it throws instead of killing the process; api::Context and the
+    // service surface it as LaunchStatus::Error.
+    if (used_ids_.size() >= part_.id_count) {
+        stats_.add("rbt_exhausted");
+        throw SimulationError("RBT exhausted: all " +
+                              std::to_string(part_.id_count) +
+                              " buffer IDs of this context are live");
+    }
     for (int attempts = 0; attempts < 1 << 20; ++attempts) {
-        const auto id =
-            static_cast<BufferId>(1 + rng_.below(id_space_ - 1));
+        const auto id = static_cast<BufferId>(
+            part_.id_first + rng_.below(part_.id_count));
         if (used_ids_.insert(id).second) {
             ++c_ids_assigned_;
+            stats_.set("rbt_occupancy", used_ids_.size());
             return id;
         }
     }
-    fatal("Driver: buffer ID space exhausted");
+    stats_.add("rbt_exhausted");
+    throw SimulationError("RBT exhausted: no free buffer ID found");
+}
+
+KernelId
+Driver::assign_kernel_id()
+{
+    // Kernel IDs are recycled at finish(); scan the partition for a
+    // free one starting at the cursor. Uniqueness must hold across
+    // concurrently-live kernels only (the RBT physical window and the
+    // BCU registration are both keyed by kernel ID).
+    for (std::size_t attempts = 0; attempts < part_.kernel_count;
+         ++attempts) {
+        const KernelId id = next_kernel_id_;
+        const std::size_t offset =
+            static_cast<std::size_t>(next_kernel_id_ - part_.kernel_first);
+        next_kernel_id_ = static_cast<KernelId>(
+            part_.kernel_first + (offset + 1) % part_.kernel_count);
+        if (live_kernels_.insert(id).second)
+            return id;
+    }
+    throw SimulationError("kernel ID space exhausted: all " +
+                          std::to_string(part_.kernel_count) +
+                          " kernel IDs of this context are live");
 }
 
 std::uint64_t
@@ -140,7 +199,8 @@ Driver::launch(const LaunchConfig &cfg)
 
     LaunchState state;
     ++c_launches_;
-    state.kernel_id = next_kernel_id_++;
+    state.kernel_id = assign_kernel_id();
+    state.tenant = part_.tenant;
     state.secret_key = rng_.next64();
     state.ntid = cfg.ntid;
     state.nctaid = cfg.nctaid;
@@ -212,15 +272,19 @@ Driver::launch(const LaunchConfig &cfg)
 
     const std::size_t fixed_ids =
         prog.locals.size() + (cfg.heap_bytes > 0 ? 1 : 0);
-    const std::size_t avail =
-        id_space_ - 1 > used_ids_.size()
-            ? id_space_ - 1 - used_ids_.size()
-            : 0;
+    const std::size_t avail = part_.id_count > used_ids_.size()
+                                  ? part_.id_count - used_ids_.size()
+                                  : 0;
     std::size_t group = 1;
     if (ptr_args.size() + fixed_ids > avail) {
-        if (avail <= fixed_ids)
-            fatal("Driver::launch: buffer ID space exhausted even for "
-                  "locals/heap");
+        if (avail <= fixed_ids) {
+            live_kernels_.erase(state.kernel_id);
+            stats_.add("rbt_exhausted");
+            throw SimulationError(
+                "RBT exhausted: " + std::to_string(avail) +
+                " free buffer IDs cannot cover locals/heap of kernel " +
+                prog.name);
+        }
         const std::size_t slots = avail - fixed_ids;
         group = (ptr_args.size() + slots - 1) / slots;
         state.ids_merged = true;
@@ -234,6 +298,17 @@ Driver::launch(const LaunchConfig &cfg)
     std::vector<Bounds> arg_bounds(prog.args.size());
     std::vector<bool> arg_in_merged_group(prog.args.size(), false);
     constexpr std::uint64_t kMaxEntrySize = 0xFFFFFFFFull;
+
+    // Exhaustion mid-launch (a merged hull closing early, locals, heap)
+    // must not leak the IDs already assigned to this launch: release
+    // them and the kernel ID before propagating the error.
+    std::vector<BufferId> assigned;
+    const auto fresh_id = [&]() {
+        const BufferId id = assign_unique_id();
+        assigned.push_back(id);
+        return id;
+    };
+    try {
     for (std::size_t g = 0; g < ptr_args.size();) {
         const std::size_t want = std::min(g + group, ptr_args.size());
         VAddr lo = ~VAddr{0};
@@ -255,7 +330,7 @@ Driver::launch(const LaunchConfig &cfg)
         if (hi - lo > kMaxEntrySize)
             fatal("Driver::launch: buffer exceeds the 32-bit RBT size "
                   "field (" + prog.args[ptr_args[g]].name + ")");
-        const BufferId id = assign_unique_id();
+        const BufferId id = fresh_id();
         Bounds merged;
         merged.valid = true;
         merged.kernel = state.kernel_id;
@@ -324,6 +399,16 @@ Driver::launch(const LaunchConfig &cfg)
             if (type == PtrTypeRec::SizedWindow &&
                 (!buffer_pow2_[handle.index] || arg_in_merged_group[a]))
                 type = PtrTypeRec::TaggedId;
+            // Multi-tenant hardening: tenants share one VA space, and
+            // neither Type 1 (raw address) nor Type 3 (window check,
+            // no ownership) pointers carry the per-kernel cipher — a
+            // leaked one is a replayable cross-tenant capability. A
+            // partitioned driver therefore hands out encrypted Type 2
+            // pointers only; the static-analysis win is preserved at
+            // instruction granularity (CheckMode::StaticSafe above),
+            // which a capability thief's kernel does not inherit.
+            if (part_.tenant != 0)
+                type = PtrTypeRec::TaggedId;
         } else {
             type = PtrTypeRec::Unprotected;
         }
@@ -355,7 +440,7 @@ Driver::launch(const LaunchConfig &cfg)
             fatal("Driver::launch: local variable exceeds the 32-bit RBT "
                   "size field (" + lv.name + ")");
 
-        const BufferId id = assign_unique_id();
+        const BufferId id = fresh_id();
         const BaseRef ref{BaseKind::Local, static_cast<int>(l)};
         state.id_map[ref] = id;
         Bounds bounds;
@@ -382,7 +467,7 @@ Driver::launch(const LaunchConfig &cfg)
         state.heap_cursor = r.base;
         state.heap_bytes = cfg.heap_bytes;
 
-        const BufferId id = assign_unique_id();
+        const BufferId id = fresh_id();
         state.id_map[BaseRef{BaseKind::Heap, -1}] = id;
         Bounds bounds;
         bounds.base_addr = r.base;
@@ -395,6 +480,13 @@ Driver::launch(const LaunchConfig &cfg)
             cfg.shield_enabled
                 ? make_tagged_ptr(r.base, cipher.encrypt(id))
                 : make_unprotected_ptr(r.base);
+    }
+    } catch (...) {
+        for (const BufferId id : assigned)
+            used_ids_.erase(id);
+        stats_.set("rbt_occupancy", used_ids_.size());
+        live_kernels_.erase(state.kernel_id);
+        throw;
     }
 
     return state;
@@ -468,6 +560,8 @@ Driver::finish(LaunchState &state)
     for (const auto &[ref, id] : state.id_map)
         used_ids_.erase(id);
     state.id_map.clear();
+    stats_.set("rbt_occupancy", used_ids_.size());
+    live_kernels_.erase(state.kernel_id);
     return reports;
 }
 

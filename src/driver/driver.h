@@ -103,6 +103,8 @@ struct CanaryReport
 struct LaunchState
 {
     KernelId kernel_id = 0;
+    /** Owning tenant (service mode; 0 = single-tenant default). */
+    TenantId tenant = 0;
     std::uint64_t secret_key = 0;
     std::uint32_t ntid = 0;
     std::uint32_t nctaid = 0;
@@ -142,6 +144,28 @@ struct LaunchState
     std::uint64_t heap_bytes = 0;
 };
 
+/**
+ * Resource partition one Driver draws from. The single-tenant default
+ * covers the whole 14-bit buffer-ID space and the whole 16-bit
+ * kernel-ID space; the multi-tenant service (src/service/) carves
+ * disjoint partitions out of both so tenants sharing one GpuDevice can
+ * never collide on an RBT namespace slot or an RBT physical window,
+ * and one tenant exhausting its partition cannot starve another.
+ */
+struct DriverPartition
+{
+    /** First usable buffer ID (0 is reserved globally). */
+    BufferId id_first = 1;
+    /** Number of usable buffer IDs starting at id_first. */
+    std::size_t id_count = kNumBufferIds - 1;
+    /** First usable kernel ID (0 is reserved globally). */
+    KernelId kernel_first = 1;
+    /** Number of usable kernel IDs starting at kernel_first. */
+    std::size_t kernel_count = 0xFFFF;
+    /** Tenant tag stamped on every launch (0 = single-tenant). */
+    TenantId tenant = 0;
+};
+
 /** The GPUShield driver. */
 class Driver
 {
@@ -153,6 +177,11 @@ class Driver
      */
     Driver(GpuDevice &dev, std::uint64_t seed = 0xD81EE5ull,
            std::size_t id_space = kNumBufferIds);
+
+    /** Partitioned form: the driver assigns buffer and kernel IDs only
+     *  from @p part (multi-tenant isolation; see DriverPartition). */
+    Driver(GpuDevice &dev, const DriverPartition &part,
+           std::uint64_t seed = 0xD81EE5ull);
 
     /**
      * Allocates a device buffer (512B-aligned, packed). @p pow2 reserves
@@ -189,22 +218,30 @@ class Driver
 
     GpuDevice &device() { return dev_; }
 
+    /** The ID partition this driver draws from. */
+    const DriverPartition &partition() const { return part_; }
+
+    /** Buffer IDs currently live (RBT-namespace occupancy). */
+    std::size_t ids_in_use() const { return used_ids_.size(); }
+
     /** Driver-side activity counters (buffers_created, launches,
-     *  ids_assigned, device_mallocs). */
+     *  ids_assigned, device_mallocs, rbt_occupancy, rbt_exhausted). */
     const StatSet &stats() const { return stats_; }
 
   private:
     BufferId assign_unique_id();
+    KernelId assign_kernel_id();
     std::uint64_t tagged_arg_pointer(const LaunchState &state,
                                      const VaRegion &region,
                                      PtrTypeRec type, BufferId id) const;
 
     GpuDevice &dev_;
     Rng rng_;
-    std::size_t id_space_;
+    DriverPartition part_;
     std::vector<VaRegion> buffers_;
     std::vector<bool> buffer_pow2_;
     std::unordered_set<std::uint16_t> used_ids_;
+    std::unordered_set<std::uint16_t> live_kernels_;
     KernelId next_kernel_id_ = 1;
 
     StatSet stats_;

@@ -122,10 +122,11 @@ Profiler::on_workgroup_end(CoreId core, unsigned slot, Cycle now)
 
 void
 Profiler::on_kernel_span(KernelId kernel, const std::string &name,
-                         Cycle start, Cycle end, bool aborted)
+                         Cycle start, Cycle end, bool aborted,
+                         TenantId tenant)
 {
     kernels_.push_back(
-        {kernel, name, base_ + start, base_ + end, aborted});
+        {kernel, tenant, name, base_ + start, base_ + end, aborted});
 }
 
 void
@@ -286,7 +287,12 @@ Profiler::write_chrome_trace(std::ostream &os) const
            << ",\"dur\":" << (k.end - k.start)
            << ",\"args\":{\"kernel_id\":" << k.kernel
            << ",\"cycles\":" << (k.end - k.start)
-           << ",\"aborted\":" << (k.aborted ? "true" : "false") << "}";
+           << ",\"aborted\":" << (k.aborted ? "true" : "false");
+        // Tenant tag only in service mode: single-tenant traces stay
+        // byte-identical to pre-service output.
+        if (k.tenant != 0)
+            ev << ",\"tenant\":" << k.tenant;
+        ev << "}";
         sink.end();
     }
 

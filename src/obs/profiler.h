@@ -92,6 +92,7 @@ struct WorkgroupSpan
 struct KernelSpan
 {
     KernelId kernel = 0;
+    TenantId tenant = 0; //!< owning tenant (service mode; 0 otherwise)
     std::string name;
     Cycle start = 0;
     Cycle end = 0;
@@ -162,7 +163,8 @@ class Profiler
 
     /** Kernel phase span (recorded once, at kernel completion). */
     void on_kernel_span(KernelId kernel, const std::string &name,
-                        Cycle start, Cycle end, bool aborted);
+                        Cycle start, Cycle end, bool aborted,
+                        TenantId tenant = 0);
 
     /** Cycle boundary: flushes sampling accumulators into the series.
      *  @p dram_queued is the DRAM controller's instantaneous queue

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Multi-tenant fairness benchmark.
+ *
+ * Enqueues per-tenant workloads up front (so queueing delay is part of
+ * the measurement), drains the service, and reports per-tenant
+ * launch-to-completion latency percentiles and throughput share on the
+ * service clock. Two canonical load mixes:
+ *
+ *  - uniform — every tenant submits the same light streaming kernels;
+ *    a fair scheduler should give near-identical p50/p99 and shares.
+ *  - skewed  — one tenant submits heavyweight kernels (large grids,
+ *    deep inner loops) next to light tenants; the interesting question
+ *    is how badly the heavy tenant inflates the light tenants' tail
+ *    latency under time-slicing vs SM-partitioned co-scheduling.
+ *
+ * `run_fairness` runs: uniform/timeslice, skewed/timeslice, and
+ * skewed/cosched. write_json emits the BENCH_service_fairness.json
+ * schema consumed by scripts/ci.sh and docs/SERVICE.md.
+ */
+
+#ifndef GPUSHIELD_SERVICE_FAIRNESS_H
+#define GPUSHIELD_SERVICE_FAIRNESS_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace gpushield::service {
+
+/** One tenant's synthetic load in a mix. */
+struct TenantLoad
+{
+    std::string name = "tenant";
+    unsigned submissions = 8; //!< kernels enqueued up front
+    unsigned blocks = 4;
+    unsigned threads_per_block = 64;
+    unsigned inner_iters = 2; //!< compute intensity per kernel
+};
+
+/** Per-tenant fairness measurements for one mix. */
+struct FairnessTenantResult
+{
+    std::string name;
+    unsigned completed = 0;
+    Cycle p50 = 0;  //!< median launch-to-completion latency (cycles)
+    Cycle p99 = 0;  //!< tail latency (cycles)
+    Cycle mean = 0;
+    std::uint64_t exec_cycles = 0; //!< device cycles this tenant ran
+    double throughput_share = 0.0; //!< exec_cycles / total exec_cycles
+};
+
+/** One (mix, scheduler-mode) measurement. */
+struct FairnessMixResult
+{
+    std::string mix;
+    SchedMode mode = SchedMode::TimeSlice;
+    unsigned quantum = 1;
+    Cycle total_cycles = 0; //!< service clock at drain
+    std::vector<FairnessTenantResult> tenants;
+};
+
+/** Full benchmark output. */
+struct FairnessReport
+{
+    std::vector<FairnessMixResult> mixes;
+};
+
+/** Runs one mix: admits one tenant per load, enqueues everything, and
+ *  drains under @p cfg's scheduler mode. */
+FairnessMixResult run_mix(const ServiceConfig &cfg, const std::string &name,
+                          const std::vector<TenantLoad> &loads);
+
+/**
+ * Runs the standard three measurements (see file comment).
+ * @param base  GPU model / quantum / seed; mode is overridden per mix.
+ * @param quick shrink grids and submission counts (CI smoke).
+ */
+FairnessReport run_fairness(const ServiceConfig &base = {},
+                            bool quick = false);
+
+/** Writes the report as pretty-printed JSON. */
+void write_json(const FairnessReport &report, std::ostream &os);
+
+} // namespace gpushield::service
+
+#endif // GPUSHIELD_SERVICE_FAIRNESS_H

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Cross-tenant isolation attack battery.
+ *
+ * Each attack runs a fresh GpuService with an adversarial tenant trying
+ * to reach another tenant's memory or to deny it service, and reports
+ * whether isolation held. The battery is the service counterpart of the
+ * single-context attacks in src/memsafety/: there the adversary is a
+ * buggy/malicious kernel inside ONE protection domain; here it is a
+ * whole tenant armed with capabilities exfiltrated from another domain.
+ *
+ * Attacks:
+ *
+ *  1. capability_replay — tenant B obtains the exact tagged pointer the
+ *     service handed tenant A's kernel (a signed capability) and issues
+ *     stores through it from B's own kernel. The BCU decrypts the
+ *     embedded ID with B's per-kernel key, so the replayed capability
+ *     must decode to garbage and the store must be squashed.
+ *  2. forged_id — tenant B knows tenant A's buffer virtual address
+ *     (full layout disclosure assumed) and forges pointers by
+ *     perturbing its own capability's ID field and re-basing the
+ *     address bits at the victim.
+ *  3. rbt_exhaustion_dos — tenant B launches a kernel demanding more
+ *     RBT namespace IDs than its partition holds. The launch must fail
+ *     with a recoverable per-tenant error; tenant A's launches and
+ *     B's own later launches must be unaffected.
+ *  4. teardown_reuse — tenant A is evicted; its partition slot (and
+ *     thus its exact buffer-ID and kernel-ID ranges) is recycled to a
+ *     new tenant C. A capability signed for A — same ID slot, same RBT
+ *     window, same kernel ID as C's — is replayed against C. Only the
+ *     per-admission key stream separates them.
+ *
+ * "Contained" means: every adversarial access raised a BCU violation
+ * attributed to the attacking tenant AND the victim's memory is
+ * byte-intact (checked white-box through the device page table).
+ */
+
+#ifndef GPUSHIELD_SERVICE_ISOLATION_H
+#define GPUSHIELD_SERVICE_ISOLATION_H
+
+#include <string>
+#include <vector>
+
+#include "service/service.h"
+
+namespace gpushield::service {
+
+/** Outcome of one isolation attack. */
+struct AttackOutcome
+{
+    std::string name;
+    std::string detail;      //!< human-readable account of what happened
+    bool contained = false;  //!< isolation held
+    std::size_t violations = 0; //!< BCU violations logged for the attack
+    bool attributed = true;  //!< every violation names the attacker tenant
+};
+
+/** Results of the full battery. */
+struct IsolationReport
+{
+    std::vector<AttackOutcome> outcomes;
+
+    bool
+    all_contained() const
+    {
+        for (const auto &o : outcomes)
+            if (!o.contained)
+                return false;
+        return !outcomes.empty();
+    }
+};
+
+/**
+ * Runs the attack battery. @p base supplies the GPU model and scheduler
+ * mode; each attack overrides tenancy/partition knobs as its scenario
+ * requires (fresh service per attack).
+ */
+IsolationReport run_isolation_suite(const ServiceConfig &base = {});
+
+} // namespace gpushield::service
+
+#endif // GPUSHIELD_SERVICE_ISOLATION_H

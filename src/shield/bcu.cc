@@ -59,6 +59,7 @@ BoundsCheckUnit::log(const BcuRequest &req, ViolationKind kind)
     }
     Violation v;
     v.kernel = req.kernel;
+    v.tenant = req.tenant;
     v.core = req.core;
     v.pc = req.pc;
     v.warp = req.warp;

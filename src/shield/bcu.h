@@ -53,6 +53,9 @@ enum class ViolationKind : std::uint8_t {
 struct Violation
 {
     KernelId kernel = 0;
+    /** Tenant that issued the faulting access (service mode; 0 =
+     *  single-tenant). Makes cross-tenant attacks attributable. */
+    TenantId tenant = 0;
     CoreId core = 0;
     int pc = -1;
     WarpId warp = 0;
@@ -66,6 +69,7 @@ struct Violation
 struct BcuRequest
 {
     KernelId kernel = 0;
+    TenantId tenant = 0;
     CoreId core = 0;
     WarpId warp = 0;
     int pc = -1;

@@ -457,6 +457,7 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
                 ptr_class(op.pointer) != PtrClass::Unprotected)) {
         BcuRequest req;
         req.kernel = launch.kernel_id;
+        req.tenant = launch.tenant;
         req.core = id_;
         req.warp = warp.id;
         req.pc = op.pc;

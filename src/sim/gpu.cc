@@ -6,8 +6,17 @@
 namespace gpushield {
 
 Gpu::Gpu(const GpuConfig &cfg, Driver &driver)
-    : cfg_(cfg), driver_(driver),
+    : cfg_(cfg), driver_(&driver),
       hier_(eq_, driver.device().page_table(), cfg.mem, cfg.num_cores)
+{
+    cores_.reserve(cfg.num_cores);
+    for (unsigned c = 0; c < cfg.num_cores; ++c)
+        cores_.push_back(std::make_unique<Core>(c, cfg_, eq_, hier_));
+}
+
+Gpu::Gpu(const GpuConfig &cfg, GpuDevice &device)
+    : cfg_(cfg),
+      hier_(eq_, device.page_table(), cfg.mem, cfg.num_cores)
 {
     cores_.reserve(cfg.num_cores);
     for (unsigned c = 0; c < cfg.num_cores; ++c)
@@ -18,13 +27,24 @@ std::size_t
 Gpu::launch(LaunchState state, std::uint64_t core_mask,
             Cycle extra_cycles_per_mem, unsigned extra_transactions)
 {
+    if (driver_ == nullptr)
+        fatal("Gpu::launch: device-bound GPU requires launch_for() "
+              "with an explicit tenant driver");
+    return launch_for(std::move(state), *driver_, core_mask,
+                      extra_cycles_per_mem, extra_transactions);
+}
+
+std::size_t
+Gpu::launch_for(LaunchState state, Driver &driver, std::uint64_t core_mask,
+                Cycle extra_cycles_per_mem, unsigned extra_transactions)
+{
     Launched entry;
     entry.state = std::make_unique<LaunchState>(std::move(state));
 
     entry.exec = std::make_unique<KernelExec>();
     entry.exec->launch = entry.state.get();
     entry.exec->interp =
-        std::make_unique<WarpInterpreter>(*entry.state, driver_);
+        std::make_unique<WarpInterpreter>(*entry.state, driver);
     entry.exec->core_mask = core_mask;
     entry.exec->instr_extra_cycles_per_mem = extra_cycles_per_mem;
     entry.exec->instr_extra_transactions = extra_transactions;
@@ -91,7 +111,7 @@ Gpu::run()
                     profiler_->on_kernel_span(
                         l.state->kernel_id, l.state->program.name,
                         l.exec->start_cycle, l.exec->end_cycle,
-                        l.exec->aborted);
+                        l.exec->aborted, l.state->tenant);
             }
         }
 
@@ -116,6 +136,7 @@ Gpu::result(std::size_t index) const
     KernelResult r;
     r.name = l.state->program.name;
     r.kernel_id = l.state->kernel_id;
+    r.tenant = l.state->tenant;
     r.start_cycle = l.exec->start_cycle;
     r.end_cycle = l.exec->end_cycle;
     r.aborted = l.exec->aborted;

@@ -24,6 +24,7 @@ struct KernelResult
 {
     std::string name;
     KernelId kernel_id = 0;
+    TenantId tenant = 0; //!< owning tenant (service mode; 0 otherwise)
     Cycle start_cycle = 0;
     Cycle end_cycle = 0;
     bool aborted = false;
@@ -40,6 +41,13 @@ class Gpu
     Gpu(const GpuConfig &cfg, Driver &driver);
 
     /**
+     * Driver-less form for multi-tenant use: the GPU binds to the
+     * shared device only, and every launch() must name the tenant
+     * driver servicing its device-side mallocs.
+     */
+    Gpu(const GpuConfig &cfg, GpuDevice &device);
+
+    /**
      * Launches a kernel. Ownership of @p state moves into the GPU.
      *
      * @param core_mask  bit i allows core i (inter-/intra-core sharing)
@@ -51,6 +59,13 @@ class Gpu
                        std::uint64_t core_mask = ~std::uint64_t{0},
                        Cycle extra_cycles_per_mem = 0,
                        unsigned extra_transactions = 0);
+
+    /** Launch bound to @p driver (the owning tenant's context) instead
+     *  of the construction-time default. */
+    std::size_t launch_for(LaunchState state, Driver &driver,
+                           std::uint64_t core_mask = ~std::uint64_t{0},
+                           Cycle extra_cycles_per_mem = 0,
+                           unsigned extra_transactions = 0);
 
     /** Runs the cycle loop until every launched kernel completes. */
     void run();
@@ -113,7 +128,7 @@ class Gpu
     bool all_done() const;
 
     GpuConfig cfg_;
-    Driver &driver_;
+    Driver *driver_ = nullptr; //!< default launch driver (single-tenant)
     EventQueue eq_;
     MemoryHierarchy hier_;
     std::vector<std::unique_ptr<Core>> cores_;

@@ -87,13 +87,10 @@ TEST(Api, BufferDescOptions)
     EXPECT_GE(ctx.driver().region(window).reserved, 100u);
 }
 
-TEST(Api, DeprecatedMallocShimStillBinds)
+TEST(Api, BufferDescReadOnlyBinds)
 {
     Context ctx(small_config());
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    const Buffer ro = ctx.malloc(256, /*read_only=*/true);
-#pragma GCC diagnostic pop
+    const Buffer ro = ctx.malloc(256, {.read_only = true});
     EXPECT_TRUE(ctx.driver().region(ro).read_only);
 }
 

@@ -1,0 +1,405 @@
+/**
+ * @file
+ * Tests for the multi-tenant GPU service (src/service/): admission and
+ * credentials, partition disjointness, queue bounds, round-robin and
+ * co-schedule draining, per-tenant attribution, RBT-exhaustion error
+ * surfacing, teardown/readmission, the isolation attack battery, and
+ * the fairness bench plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/log.h"
+#include "isa/builder.h"
+#include "obs/profiler.h"
+#include "service/fairness.h"
+#include "service/isolation.h"
+#include "service/service.h"
+#include "shield/pointer.h"
+#include "workloads/kernels.h"
+
+namespace gpushield::service {
+namespace {
+
+/** Minimal kernel touching (loading from) its single buffer. */
+KernelProgram
+touch_kernel()
+{
+    KernelBuilder b("touch");
+    const int out = b.arg_ptr("out");
+    const int base = b.ldarg(out);
+    (void)b.ld(base, 4);
+    b.exit();
+    return b.finish();
+}
+
+/** Kernel demanding @p locals distinct (unmergeable) RBT IDs. */
+KernelProgram
+greedy_kernel(unsigned locals)
+{
+    KernelBuilder b("greedy");
+    std::vector<int> idx;
+    for (unsigned i = 0; i < locals; ++i)
+        idx.push_back(b.local("l" + std::to_string(i), 4, 8));
+    const int payload = b.mov_imm(1);
+    for (const int l : idx)
+        b.st(b.ldloc(l), payload, 4);
+    b.exit();
+    return b.finish();
+}
+
+TEST(Service, AdmitAssignsDisjointPartitions)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 4;
+    GpuService svc(cfg);
+
+    std::vector<Credential> creds;
+    for (int i = 0; i < 4; ++i)
+        creds.push_back(svc.admit("t" + std::to_string(i)));
+    EXPECT_EQ(svc.num_tenants(), 4u);
+
+    for (std::size_t i = 0; i < creds.size(); ++i) {
+        const DriverPartition &a =
+            svc.tenant_driver(creds[i]).partition();
+        EXPECT_EQ(a.tenant, creds[i].tenant);
+        EXPECT_GE(a.id_first, 1u); // buffer ID 0 is reserved
+        EXPECT_GE(a.kernel_first, 1u);
+        for (std::size_t j = i + 1; j < creds.size(); ++j) {
+            const DriverPartition &b =
+                svc.tenant_driver(creds[j]).partition();
+            const bool ids_disjoint =
+                a.id_first + a.id_count <= b.id_first ||
+                b.id_first + b.id_count <= a.id_first;
+            const bool kernels_disjoint =
+                a.kernel_first + a.kernel_count <= b.kernel_first ||
+                b.kernel_first + b.kernel_count <= a.kernel_first;
+            EXPECT_TRUE(ids_disjoint);
+            EXPECT_TRUE(kernels_disjoint);
+        }
+    }
+}
+
+TEST(Service, BadCredentialRejected)
+{
+    GpuService svc;
+    const Credential good = svc.admit("alice");
+    Credential bad = good;
+    bad.token ^= 1;
+    EXPECT_THROW((void)svc.create_buffer(bad, 64), std::invalid_argument);
+    Credential other = good;
+    other.tenant = static_cast<TenantId>(good.tenant + 1);
+    EXPECT_THROW((void)svc.create_buffer(other, 64),
+                 std::invalid_argument);
+    EXPECT_EQ(svc.stats().get("auth_failures"), 2u);
+    EXPECT_NO_THROW((void)svc.create_buffer(good, 64));
+}
+
+TEST(Service, AdmissionBeyondCapacityThrows)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 1;
+    GpuService svc(cfg);
+    (void)svc.admit("only");
+    EXPECT_THROW((void)svc.admit("excess"), SimulationError);
+}
+
+TEST(Service, QueueBoundRejectsOverflow)
+{
+    ServiceConfig cfg;
+    cfg.queue_capacity = 2;
+    GpuService svc(cfg);
+    const Credential cred = svc.admit("alice");
+    const BufferHandle buf = svc.create_buffer(cred, 64);
+    const KernelProgram prog = touch_kernel();
+
+    EXPECT_EQ(svc.submit(cred, prog, {1, 1}, {api::arg(buf)}).status,
+              SubmitStatus::Accepted);
+    EXPECT_EQ(svc.submit(cred, prog, {1, 1}, {api::arg(buf)}).status,
+              SubmitStatus::Accepted);
+    const SubmitResult third =
+        svc.submit(cred, prog, {1, 1}, {api::arg(buf)});
+    EXPECT_EQ(third.status, SubmitStatus::QueueFull);
+    EXPECT_EQ(third.ticket, 0u);
+    EXPECT_EQ(svc.tenant_stats(cred.tenant).get("queue_rejects"), 1u);
+    EXPECT_EQ(svc.pending(cred.tenant), 2u);
+
+    svc.drain();
+    EXPECT_EQ(svc.pending(cred.tenant), 0u);
+    EXPECT_EQ(svc.tenant_stats(cred.tenant).get("launches_ok"), 2u);
+}
+
+TEST(Service, SubmitValidatesArgBindingEagerly)
+{
+    GpuService svc;
+    const Credential cred = svc.admit("alice");
+    const KernelProgram prog = touch_kernel();
+    // Scalar where a buffer is declared: throws at submit, not drain.
+    EXPECT_THROW((void)svc.submit(cred, prog, {1, 1}, {api::arg(7)}),
+                 std::invalid_argument);
+    EXPECT_THROW((void)svc.submit(cred, prog, {1, 1}, {}),
+                 std::invalid_argument);
+    EXPECT_EQ(svc.pending(cred.tenant), 0u);
+}
+
+TEST(Service, TimeSliceAlternatesTenants)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 2;
+    cfg.quantum = 1;
+    GpuService svc(cfg);
+    const Credential a = svc.admit("alice");
+    const Credential b = svc.admit("bob");
+    const KernelProgram prog = touch_kernel();
+    const BufferHandle ba = svc.create_buffer(a, 64);
+    const BufferHandle bb = svc.create_buffer(b, 64);
+
+    std::vector<Ticket> tickets;
+    for (int i = 0; i < 3; ++i) {
+        tickets.push_back(
+            svc.submit(a, prog, {1, 1}, {api::arg(ba)}).ticket);
+        tickets.push_back(
+            svc.submit(b, prog, {1, 1}, {api::arg(bb)}).ticket);
+    }
+    svc.drain();
+
+    // Completion order on the service clock alternates tenants.
+    std::vector<const LaunchRecord *> recs;
+    for (const Ticket t : tickets)
+        recs.push_back(&svc.record(t));
+    std::sort(recs.begin(), recs.end(),
+              [](const LaunchRecord *x, const LaunchRecord *y) {
+                  return x->complete_time < y->complete_time;
+              });
+    for (std::size_t i = 0; i < recs.size(); ++i) {
+        EXPECT_TRUE(recs[i]->done);
+        EXPECT_EQ(recs[i]->status, api::LaunchStatus::Ok);
+        EXPECT_EQ(recs[i]->tenant, i % 2 == 0 ? a.tenant : b.tenant);
+    }
+    EXPECT_EQ(svc.stats().get("turns"), 6u);
+}
+
+TEST(Service, QuantumDrainsMultiplePerTurn)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 2;
+    cfg.quantum = 3;
+    GpuService svc(cfg);
+    const Credential a = svc.admit("alice");
+    const KernelProgram prog = touch_kernel();
+    const BufferHandle ba = svc.create_buffer(a, 64);
+    for (int i = 0; i < 3; ++i)
+        (void)svc.submit(a, prog, {1, 1}, {api::arg(ba)});
+    EXPECT_TRUE(svc.step()); // one turn, whole backlog
+    EXPECT_EQ(svc.pending(a.tenant), 0u);
+    EXPECT_FALSE(svc.step());
+}
+
+TEST(Service, PerTenantViolationAttribution)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 2;
+    GpuService svc(cfg);
+    const Credential clean = svc.admit("clean");
+    const Credential rogue = svc.admit("rogue");
+
+    workloads::PatternParams p;
+    p.name = "rogue_overflow";
+    p.inputs = 1;
+    const KernelProgram overflowing = workloads::make_overflowing(p, 16);
+    const KernelProgram benign = touch_kernel();
+
+    const std::uint64_t bytes = 64 * 4;
+    const BufferHandle cb = svc.create_buffer(clean, bytes);
+    std::vector<api::Arg> rogue_args;
+    const KernelProgram *rp = &overflowing;
+    for (std::size_t i = 0; i < rp->args.size(); ++i)
+        rogue_args.push_back(api::arg(svc.create_buffer(rogue, bytes)));
+
+    const Ticket tc =
+        svc.submit(clean, benign, {1, 1}, {api::arg(cb)}).ticket;
+    const Ticket tr =
+        svc.submit(rogue, overflowing, {64, 1}, rogue_args).ticket;
+    svc.drain();
+
+    const LaunchRecord &rc = svc.record(tc);
+    const LaunchRecord &rr = svc.record(tr);
+    EXPECT_TRUE(rc.violations.empty());
+    ASSERT_FALSE(rr.violations.empty());
+    for (const Violation &v : rr.violations)
+        EXPECT_EQ(v.tenant, rogue.tenant);
+    EXPECT_EQ(svc.tenant_stats(clean.tenant).get("violations"), 0u);
+    EXPECT_GT(svc.tenant_stats(rogue.tenant).get("violations"), 0u);
+    EXPECT_EQ(rr.tenant, rogue.tenant);
+    EXPECT_EQ(rc.tenant, clean.tenant);
+}
+
+TEST(Service, RbtExhaustionSurfacesAsLaunchError)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 2;
+    cfg.ids_per_tenant = 4;
+    GpuService svc(cfg);
+    const Credential cred = svc.admit("greedy");
+
+    const Ticket t = svc.submit(cred, greedy_kernel(6), {1, 1}, {}).ticket;
+    svc.drain();
+
+    const LaunchRecord &rec = svc.record(t);
+    EXPECT_EQ(rec.status, api::LaunchStatus::Error);
+    EXPECT_NE(rec.status_message.find("RBT exhausted"), std::string::npos);
+    EXPECT_GE(svc.tenant_driver(cred).stats().get("rbt_exhausted"), 1u);
+    // The failed launch must not leak namespace IDs.
+    EXPECT_EQ(svc.tenant_driver(cred).ids_in_use(), 0u);
+
+    // The tenant is not wedged: a well-formed launch still works.
+    const BufferHandle buf = svc.create_buffer(cred, 64);
+    const Ticket ok =
+        svc.submit(cred, touch_kernel(), {1, 1}, {api::arg(buf)}).ticket;
+    svc.drain();
+    EXPECT_EQ(svc.record(ok).status, api::LaunchStatus::Ok);
+}
+
+TEST(Service, EvictRecyclesSlotAndKillsCredential)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 1;
+    GpuService svc(cfg);
+    const Credential first = svc.admit("first");
+    const BufferHandle buf = svc.create_buffer(first, 64);
+    const Ticket pending =
+        svc.submit(first, touch_kernel(), {1, 1}, {api::arg(buf)}).ticket;
+
+    svc.evict(first);
+    EXPECT_EQ(svc.num_tenants(), 0u);
+    // The queued submission resolved as an error instead of dangling.
+    EXPECT_TRUE(svc.record(pending).done);
+    EXPECT_EQ(svc.record(pending).status, api::LaunchStatus::Error);
+    // The dead credential no longer authenticates.
+    EXPECT_THROW((void)svc.create_buffer(first, 64),
+                 std::invalid_argument);
+
+    // The slot is reusable, with the same tenant id but a new token.
+    const Credential second = svc.admit("second");
+    EXPECT_EQ(second.tenant, first.tenant);
+    EXPECT_NE(second.token, first.token);
+    const BufferHandle buf2 = svc.create_buffer(second, 64);
+    const Ticket ok =
+        svc.submit(second, touch_kernel(), {1, 1}, {api::arg(buf2)})
+            .ticket;
+    svc.drain();
+    EXPECT_EQ(svc.record(ok).status, api::LaunchStatus::Ok);
+}
+
+TEST(Service, CoScheduleRunsTenantsInOneBatch)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 2;
+    cfg.mode = SchedMode::CoSchedule;
+    GpuService svc(cfg);
+    const Credential a = svc.admit("alice");
+    const Credential b = svc.admit("bob");
+    const KernelProgram prog = touch_kernel();
+    const Ticket ta =
+        svc.submit(a, prog, {1, 1}, {api::arg(svc.create_buffer(a, 64))})
+            .ticket;
+    const Ticket tb =
+        svc.submit(b, prog, {1, 1}, {api::arg(svc.create_buffer(b, 64))})
+            .ticket;
+
+    EXPECT_TRUE(svc.step());
+    EXPECT_FALSE(svc.step());
+    EXPECT_EQ(svc.stats().get("cosched_batches"), 1u);
+    const LaunchRecord &ra = svc.record(ta);
+    const LaunchRecord &rb = svc.record(tb);
+    EXPECT_EQ(ra.status, api::LaunchStatus::Ok);
+    EXPECT_EQ(rb.status, api::LaunchStatus::Ok);
+    // Same batch: both complete at the same service-clock instant.
+    EXPECT_EQ(ra.complete_time, rb.complete_time);
+}
+
+TEST(Service, IsolationSuiteAllContainedTimeSlice)
+{
+    const IsolationReport report = run_isolation_suite();
+    EXPECT_EQ(report.outcomes.size(), 4u);
+    for (const AttackOutcome &o : report.outcomes)
+        EXPECT_TRUE(o.contained) << o.name << ": " << o.detail;
+}
+
+TEST(Service, IsolationSuiteAllContainedCoSchedule)
+{
+    ServiceConfig cfg;
+    cfg.mode = SchedMode::CoSchedule;
+    const IsolationReport report = run_isolation_suite(cfg);
+    EXPECT_TRUE(report.all_contained());
+}
+
+TEST(Service, PartitionedDriverNeverHandsOutUnencryptedCapabilities)
+{
+    // Single-tenant statically-safe launches demote to Type 1 pointers;
+    // a partitioned (tenant-tagged) driver must keep Type 2 encryption
+    // on every capability it signs, or a leaked pointer is replayable
+    // across tenants (see docs/SERVICE.md threat model).
+    GpuService svc;
+    const Credential cred = svc.admit("alice");
+    const BufferHandle buf = svc.create_buffer(cred, 64);
+    const Ticket t =
+        svc.submit(cred, touch_kernel(), {1, 1}, {api::arg(buf)}).ticket;
+    svc.drain();
+    const LaunchRecord &rec = svc.record(t);
+    ASSERT_EQ(rec.arg_values.size(), 1u);
+    EXPECT_EQ(ptr_class(rec.arg_values[0]), PtrClass::TaggedId);
+}
+
+TEST(Service, ProfilerRecordsTenantTaggedSpans)
+{
+    ServiceConfig cfg;
+    cfg.max_tenants = 2;
+    GpuService svc(cfg);
+    obs::Profiler prof;
+    svc.attach_profiler(&prof);
+
+    const Credential a = svc.admit("alice");
+    const Credential b = svc.admit("bob");
+    const KernelProgram prog = touch_kernel();
+    (void)svc.submit(a, prog, {1, 1},
+                     {api::arg(svc.create_buffer(a, 64))});
+    (void)svc.submit(b, prog, {1, 1},
+                     {api::arg(svc.create_buffer(b, 64))});
+    svc.drain();
+
+    std::ostringstream trace;
+    prof.write_chrome_trace(trace);
+    EXPECT_NE(trace.str().find("\"tenant\":1"), std::string::npos);
+    EXPECT_NE(trace.str().find("\"tenant\":2"), std::string::npos);
+}
+
+TEST(Service, FairnessQuickReportsPercentilesAndShares)
+{
+    const FairnessReport report = run_fairness({}, /*quick=*/true);
+    ASSERT_EQ(report.mixes.size(), 3u);
+    for (const FairnessMixResult &mix : report.mixes) {
+        EXPECT_EQ(mix.tenants.size(), 3u);
+        double share_sum = 0.0;
+        for (const FairnessTenantResult &t : mix.tenants) {
+            EXPECT_GT(t.completed, 0u);
+            EXPECT_GE(t.p99, t.p50);
+            EXPECT_GT(t.p50, 0u);
+            share_sum += t.throughput_share;
+        }
+        EXPECT_NEAR(share_sum, 1.0, 1e-9);
+    }
+
+    std::ostringstream os;
+    write_json(report, os);
+    EXPECT_NE(os.str().find("\"bench\": \"service_fairness\""),
+              std::string::npos);
+    EXPECT_NE(os.str().find("\"p99_cycles\""), std::string::npos);
+}
+
+} // namespace
+} // namespace gpushield::service

@@ -413,6 +413,59 @@ TEST_F(BcuTest, StallOnlyWhenCheckExceedsShadow)
     EXPECT_EQ(slow.check(miss).stall_cycles, 0u);
 }
 
+TEST_F(BcuTest, FreedSlotReRegisteredRejectsStaleCapability)
+{
+    // Kernel A (kKernel under kKey) handed out a capability over its
+    // buffer at 0x1000 and primed the RCache with the entry.
+    const std::uint64_t stale =
+        make_tagged_ptr(0x1000, cipher_.encrypt(kId));
+    bcu_.check(req(0x1000, 0x1004, false, kId));
+
+    // A finishes: the core deregisters it (dropping its RCache lines),
+    // the driver clears the RBT window, and namespace slot kId plus the
+    // kernel ID are recycled to a NEW kernel signing under a new key —
+    // the service-mode teardown-reuse sequence.
+    bcu_.deregister_kernel(kKernel);
+    rbt_.clear_all();
+    const std::uint64_t new_key = 0x1234'5678;
+    Bounds nb;
+    nb.base_addr = 0x8000;
+    nb.size = 128;
+    nb.valid = true;
+    nb.kernel = kKernel;
+    rbt_.set(kId, nb);
+    bcu_.register_kernel(kKernel, new_key, &rbt_);
+
+    // The stale capability must not validate against the re-registered
+    // slot: decrypting A's ciphertext with the new key cannot name an
+    // entry whose bounds cover A's old buffer.
+    BcuRequest r;
+    r.kernel = kKernel;
+    r.pointer = stale;
+    r.min_addr = 0x1000;
+    r.max_end = 0x1004;
+    r.is_store = true;
+    r.num_transactions = 1;
+    r.dcache_hit = true;
+    const BcuResponse resp = bcu_.check(r);
+    EXPECT_TRUE(resp.checked);
+    EXPECT_TRUE(resp.violation);
+
+    // The new kernel's own capability over the recycled slot is good.
+    bcu_.clear_violations();
+    IdCipher new_cipher(new_key);
+    BcuRequest ok;
+    ok.kernel = kKernel;
+    ok.pointer = make_tagged_ptr(0x8000, new_cipher.encrypt(kId));
+    ok.min_addr = 0x8000;
+    ok.max_end = 0x8004;
+    ok.is_store = true;
+    ok.num_transactions = 1;
+    ok.dcache_hit = true;
+    EXPECT_FALSE(bcu_.check(ok).violation);
+    EXPECT_TRUE(bcu_.violations().empty());
+}
+
 TEST_F(BcuTest, Type3OffsetCheck)
 {
     BcuRequest r;
