@@ -17,7 +17,7 @@
 #include "driver/driver.h"
 #include "harness/metrics.h"
 #include "harness/suites.h"
-#include "harness/thread_pool.h"
+#include "common/thread_pool.h"
 #include "sim/config.h"
 #include "workloads/runner.h"
 #include "workloads/suites.h"

@@ -29,6 +29,12 @@ cmp build/smoke.jsonl build/smoke-serial.jsonl
 # disabled-path invisibility.
 cmp build/smoke-serial.jsonl tests/golden/smoke.jsonl
 
+# Parallel-SM gate: the in-device parallel engine (issue phases on a
+# worker pool) must also be byte-identical to the committed golden.
+./build/src/gpushield-sweep --suite smoke --jobs 1 --sim-threads 2 \
+    --quiet --jsonl build/smoke-t2.jsonl > /dev/null
+cmp build/smoke-t2.jsonl tests/golden/smoke.jsonl
+
 # Conformance smoke: every corpus workload differentially checked
 # against the functional oracle and the per-lane bounds oracle (zero
 # false negatives, zero image divergences), plus a short fuzz round
@@ -51,18 +57,34 @@ cmp build/smoke-serial.jsonl tests/golden/smoke.jsonl
     --json build/service-fairness-smoke.json
 
 # Perf smoke: Release build, simulator-throughput microbenchmark.
-# Refreshes BENCH_sim_throughput.json (committed as the baseline).
+# Refreshes BENCH_sim_throughput.json (committed as the baseline; each
+# run appends to its trajectory array, so the history is preserved).
+# The parallel-SM run is gated on golden equality first: a perf number
+# from an engine that changed simulated behaviour is meaningless.
 cmake -B build-perf -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build build-perf -j"$JOBS" --target gpushield-throughput
+cmake --build build-perf -j"$JOBS" --target gpushield-throughput \
+    gpushield-sweep
+./build-perf/src/gpushield-sweep --suite smoke --jobs 1 --sim-threads 2 \
+    --quiet --jsonl build-perf/smoke-t2.jsonl > /dev/null
+cmp build-perf/smoke-t2.jsonl tests/golden/smoke.jsonl
 ./build-perf/src/gpushield-throughput --suite smoke --reps 3 \
+    --json BENCH_sim_throughput.json \
+    --baseline-cycles-per-sec 4.207e5
+./build-perf/src/gpushield-throughput --suite smoke --reps 3 \
+    --sim-threads 2 \
     --json BENCH_sim_throughput.json \
     --baseline-cycles-per-sec 4.207e5
 
 if [[ "${1:-}" == "--tsan" ]]; then
     cmake --preset tsan
-    cmake --build build-tsan -j"$JOBS" --target test_harness gpushield-sweep
+    cmake --build build-tsan -j"$JOBS" \
+        --target test_harness test_engine gpushield-sweep
     ./build-tsan/tests/test_harness
+    ./build-tsan/tests/test_engine
     ./build-tsan/src/gpushield-sweep --suite smoke --jobs 4 --quiet
+    # Parallel-SM smoke under TSan: issue workers + drain barrier.
+    ./build-tsan/src/gpushield-sweep --suite smoke --jobs 1 \
+        --sim-threads 2 --quiet
 fi
 
 if [[ "${1:-}" == "--asan" ]]; then

@@ -26,12 +26,23 @@ class EventQueue
   public:
     using Callback = std::function<void()>;
 
-    /** Schedules @p cb to run at absolute cycle @p when (>= now()). */
+    /**
+     * Schedules @p cb to run at absolute cycle @p when.
+     *
+     * Scheduling at now() is legal — including from inside a callback
+     * that is currently dispatching at now() — and the new event runs
+     * after every event already scheduled for the same cycle (sequence
+     * numbers break ties). A @p when in the past is clamped to now():
+     * under the event-driven engine the clock jumps straight to the
+     * next interesting cycle, so latency arithmetic against a stale
+     * busy-cursor can resolve to an already-passed cycle; the earliest
+     * legal service time for such a request is the current cycle.
+     */
     void
     schedule(Cycle when, Callback cb)
     {
         if (when < now_)
-            panic("EventQueue: scheduling into the past");
+            when = now_;
         heap_.push(Event{when, next_seq_++, std::move(cb)});
     }
 

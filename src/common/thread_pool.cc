@@ -1,8 +1,8 @@
-#include "harness/thread_pool.h"
+#include "common/thread_pool.h"
 
 #include <algorithm>
 
-namespace gpushield::harness {
+namespace gpushield {
 
 ThreadPool::ThreadPool(unsigned num_threads)
     : queues_(std::max(1u, num_threads))
@@ -91,4 +91,4 @@ ThreadPool::hardware_jobs()
     return hw == 0 ? 1 : hw;
 }
 
-} // namespace gpushield::harness
+} // namespace gpushield

@@ -1,19 +1,24 @@
 /**
  * @file
- * Work-stealing thread pool for sweep execution.
+ * Work-stealing thread pool shared by the sweep executor (one job per
+ * sweep cell) and the parallel-SM simulation engine (one job per core
+ * shard per cycle round).
  *
  * Each worker owns a deque; submissions are distributed round-robin.
  * A worker pops from the back of its own deque (LIFO, cache-friendly)
  * and, when empty, steals from the front of a sibling's deque (FIFO,
  * oldest work first). Deques share one mutex — sweep cells are
- * milliseconds-to-seconds of simulation each, so scheduling cost is
- * irrelevant next to run cost and the coarse lock keeps the pool
- * trivially race-free (see the ThreadSanitizer preset in
- * CMakePresets.json).
+ * milliseconds-to-seconds of simulation each and engine shards amortize
+ * a whole issue phase per job, so scheduling cost is irrelevant next to
+ * run cost and the coarse lock keeps the pool trivially race-free (see
+ * the ThreadSanitizer preset in CMakePresets.json). submit/wait_idle
+ * pairs give the caller the usual mutex happens-before edges: writes
+ * made before submit() are visible to the job, and writes made by jobs
+ * are visible after wait_idle() returns.
  */
 
-#ifndef GPUSHIELD_HARNESS_THREAD_POOL_H
-#define GPUSHIELD_HARNESS_THREAD_POOL_H
+#ifndef GPUSHIELD_COMMON_THREAD_POOL_H
+#define GPUSHIELD_COMMON_THREAD_POOL_H
 
 #include <condition_variable>
 #include <cstddef>
@@ -23,7 +28,7 @@
 #include <thread>
 #include <vector>
 
-namespace gpushield::harness {
+namespace gpushield {
 
 class ThreadPool
 {
@@ -68,6 +73,11 @@ class ThreadPool
     bool stop_ = false;
 };
 
+} // namespace gpushield
+
+namespace gpushield::harness {
+/** Historical alias: the pool began life in the harness layer. */
+using gpushield::ThreadPool;
 } // namespace gpushield::harness
 
-#endif // GPUSHIELD_HARNESS_THREAD_POOL_H
+#endif // GPUSHIELD_COMMON_THREAD_POOL_H

@@ -1,5 +1,6 @@
 #include "harness/executor.h"
 
+#include <algorithm>
 #include <atomic>
 #include <optional>
 #include <chrono>
@@ -8,7 +9,7 @@
 
 #include "common/log.h"
 #include "conform/oracle.h"
-#include "harness/thread_pool.h"
+#include "common/thread_pool.h"
 #include "obs/profiler.h"
 #include "workloads/runner.h"
 #include "workloads/suites.h"
@@ -58,7 +59,8 @@ placement_masks(Placement placement, unsigned num_cores)
 void
 run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
               RunRecord &r, obs::Profiler *prof,
-              conform::LaneOracle *oracle)
+              conform::LaneOracle *oracle,
+              obs::HostEngineProfiler *engine_prof)
 {
     const GpuConfig &cfg = spec.config(cell.config);
     const BenchmarkDef &a = find_in_set(cell.set, cell.workload);
@@ -73,6 +75,8 @@ run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
         gpu.set_profiler(prof);
     if (oracle != nullptr)
         gpu.set_lane_observer(oracle);
+    if (engine_prof != nullptr)
+        gpu.set_engine_profiler(engine_prof);
     const std::size_t ia =
         gpu.launch(driver.launch(wa.make_config(cell.shield, cell.use_static)),
                    mask_a);
@@ -93,12 +97,14 @@ run_pair_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
     r.bcu = gpu.bcu_stats();
     r.mem = workloads::collect_mem_stats(gpu);
     r.l1_rcache_hit_rate = gpu.rcache_l1_hit_rate();
+    r.cycles_skipped = gpu.cycles_skipped();
 }
 
 void
 run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
                 RunRecord &r, obs::Profiler *prof,
-                conform::LaneOracle *oracle)
+                conform::LaneOracle *oracle,
+                obs::HostEngineProfiler *engine_prof)
 {
     const GpuConfig &cfg = spec.config(cell.config);
     const BenchmarkDef &def = find_in_set(cell.set, cell.workload);
@@ -107,7 +113,7 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
     if (cell.launches > 1) {
         const workloads::MultiLaunchOutcome out = workloads::run_workload_n(
             cfg, driver, inst, cell.launches, cell.shield, cell.use_static,
-            0, 0, prof);
+            0, 0, prof, engine_prof);
         r.cycles = out.total_cycles;
         r.violations = out.violations;
         r.aborted = out.aborted;
@@ -115,12 +121,13 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
         r.bcu = out.bcu;
         r.mem = out.mem;
         r.l1_rcache_hit_rate = r.rcache.ratio("l1_hits", "lookups");
+        r.cycles_skipped = out.cycles_skipped;
         return;
     }
 
     const workloads::RunOutcome out = workloads::run_workload(
         cfg, driver, inst, cell.shield, cell.use_static, 0, 0, prof,
-        oracle);
+        oracle, engine_prof);
     r.cycles = out.result.cycles();
     r.violations = out.result.violations.size();
     r.aborted = out.result.aborted;
@@ -131,13 +138,14 @@ run_single_cell(const SweepSpec &spec, const CellSpec &cell, Driver &driver,
     r.kernel.set("canary_reports",
                  static_cast<std::uint64_t>(out.canaries.size()));
     r.l1_rcache_hit_rate = out.l1_rcache_hit_rate;
+    r.cycles_skipped = out.cycles_skipped;
 }
 
 } // namespace
 
 RunRecord
 run_cell(const SweepSpec &spec, std::size_t index, bool profile,
-         bool conform)
+         bool conform, obs::HostEngineProfiler *engine_prof)
 {
     const CellSpec &cell = spec.cells.at(index);
 
@@ -168,9 +176,9 @@ run_cell(const SweepSpec &spec, std::size_t index, bool profile,
             oracle.emplace(driver);
         conform::LaneOracle *o = oracle ? &*oracle : nullptr;
         if (cell.workload_b.empty())
-            run_single_cell(spec, cell, driver, r, p, o);
+            run_single_cell(spec, cell, driver, r, p, o, engine_prof);
         else
-            run_pair_cell(spec, cell, driver, r, p, o);
+            run_pair_cell(spec, cell, driver, r, p, o, engine_prof);
         if (profile)
             r.obs = prof.summary().to_statset();
         if (o != nullptr)
@@ -209,8 +217,13 @@ run_sweep(const SweepSpec &spec, const SweepOptions &opts)
 
     std::mutex progress_mu;
     std::atomic<std::size_t> done{0};
+    // The engine profiler accumulates into plain counters; honor it
+    // only for serial sweeps (see SweepOptions::engine_prof).
+    obs::HostEngineProfiler *engine_prof =
+        std::max(1u, opts.jobs) == 1 ? opts.engine_prof : nullptr;
     const auto run_one = [&](std::size_t i) {
-        RunRecord r = run_cell(spec, i, opts.profile, opts.conform);
+        RunRecord r = run_cell(spec, i, opts.profile, opts.conform,
+                               engine_prof);
         const std::size_t n = ++done;
         if (opts.progress != nullptr) {
             std::lock_guard<std::mutex> lock(progress_mu);

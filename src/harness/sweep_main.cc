@@ -16,7 +16,7 @@
 
 #include "harness/executor.h"
 #include "harness/suites.h"
-#include "harness/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace {
 
@@ -29,6 +29,9 @@ usage(const char *argv0)
                  "usage: %s --suite NAME [options]\n"
                  "  --suite NAME   suite to run (see --list)\n"
                  "  --jobs N       worker threads (default: %u)\n"
+                 "  --sim-threads N  parallel-SM engine workers inside\n"
+                 "                 each simulated GPU (default: 1);\n"
+                 "                 records are byte-identical to serial\n"
                  "  --jsonl PATH   write JSON Lines records ('-' = stdout)\n"
                  "  --csv PATH     write CSV records ('-' = stdout)\n"
                  "  --profile      attach the stall-attribution profiler\n"
@@ -68,6 +71,7 @@ main(int argc, char **argv)
 {
     std::string suite_name, jsonl_path, csv_path;
     unsigned jobs = ThreadPool::hardware_jobs();
+    unsigned sim_threads = 1;
     bool quiet = false, list = false, profile = false, conform = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -84,6 +88,9 @@ main(int argc, char **argv)
             suite_name = value();
         else if (arg == "--jobs")
             jobs = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--sim-threads")
+            sim_threads =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
         else if (arg == "--jsonl")
             jsonl_path = value();
         else if (arg == "--csv")
@@ -115,7 +122,9 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const SweepSpec spec = suite->make();
+    SweepSpec spec = suite->make();
+    for (auto &[cfg_name, cfg] : spec.configs)
+        cfg.sim_threads = sim_threads == 0 ? 1 : sim_threads;
     SweepOptions opts;
     opts.jobs = jobs == 0 ? 1 : jobs;
     opts.progress = quiet ? nullptr : &std::cerr;

@@ -2,17 +2,31 @@
  * @file
  * gpushield-throughput: simulator-throughput microbenchmark.
  *
- * Runs a suite single-threaded several times, takes the best wall
- * time, and reports simulated-cycles/sec and stat-events/sec. The
- * result is written as one JSON object (BENCH_sim_throughput.json by
- * default) so CI can track simulator performance over time:
+ * Runs a suite single-threaded (one cell at a time) several times,
+ * takes the best wall time, and reports simulated-cycles/sec and
+ * stat-events/sec. The result is written as one JSON object
+ * (BENCH_sim_throughput.json by default) so CI can track simulator
+ * performance over time:
  *
  *   gpushield-throughput --suite smoke --reps 5 \
+ *       --sim-threads 2 \
  *       --json BENCH_sim_throughput.json \
  *       --baseline-cycles-per-sec 4.2e5
  *
  * With --baseline-cycles-per-sec the JSON also records the baseline
- * and the speedup relative to it.
+ * and the speedup relative to it. Every run additionally appends one
+ * entry to the JSON's "trajectory" array — (suite, sim_threads,
+ * cycles_per_sec, speedup_vs_seed) — so the file carries the full
+ * optimisation history, not just the latest number. speedup_vs_seed is
+ * measured against the original per-cycle engine's 4.207e5 cycles/s.
+ *
+ * --sim-threads N runs every cell's GPU with N parallel-SM engine
+ * workers (GpuConfig::sim_threads); records stay byte-identical to
+ * serial, only the wall clock moves. --engine-profile attaches the
+ * host-side engine profiler (obs/engine_profile.h) and prints its
+ * per-phase wall-time report to stderr — note its timer reads add a
+ * few percent of host overhead, so don't mix it with record-keeping
+ * runs.
  */
 
 #include <cstdio>
@@ -25,10 +39,16 @@
 #include "harness/executor.h"
 #include "harness/metrics.h"
 #include "harness/suites.h"
+#include "obs/engine_profile.h"
 
 namespace {
 
 using namespace gpushield::harness;
+
+/** Cycles/s of the original per-cycle scan engine on the smoke suite
+ *  (recorded before the event-driven rebuild); trajectory entries
+ *  report their speedup against this fixed reference. */
+constexpr double kSeedBaselineCyclesPerSec = 4.207e5;
 
 int
 usage(const char *argv0)
@@ -39,6 +59,10 @@ usage(const char *argv0)
                  "smoke)\n"
                  "  --reps N                      repetitions; best wall "
                  "time wins (default: 3)\n"
+                 "  --sim-threads N               parallel-SM engine "
+                 "workers per GPU (default: 1)\n"
+                 "  --engine-profile              print host wall-time per "
+                 "engine phase (stderr)\n"
                  "  --json PATH                   result file (default: "
                  "BENCH_sim_throughput.json)\n"
                  "  --baseline-cycles-per-sec X   reference for the "
@@ -57,6 +81,32 @@ stat_events(const gpushield::StatSet &s)
     return total;
 }
 
+/**
+ * Extracts the contents of the "trajectory":[...] array from a prior
+ * result file (empty string when the file or the key is absent).
+ * Entries are flat objects with no nested brackets, so scanning for
+ * the next ']' is exact.
+ */
+std::string
+prior_trajectory(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in.is_open())
+        return "";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    const std::string key = "\"trajectory\":[";
+    const std::size_t start = text.find(key);
+    if (start == std::string::npos)
+        return "";
+    const std::size_t body = start + key.size();
+    const std::size_t end = text.find(']', body);
+    if (end == std::string::npos)
+        return "";
+    return text.substr(body, end - body);
+}
+
 } // namespace
 
 int
@@ -65,6 +115,8 @@ main(int argc, char **argv)
     std::string suite_name = "smoke";
     std::string json_path = "BENCH_sim_throughput.json";
     unsigned reps = 3;
+    unsigned sim_threads = 1;
+    bool engine_profile = false;
     double baseline = 0.0;
 
     for (int i = 1; i < argc; ++i) {
@@ -82,6 +134,11 @@ main(int argc, char **argv)
             suite_name = value();
         else if (arg == "--reps")
             reps = static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--sim-threads")
+            sim_threads =
+                static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--engine-profile")
+            engine_profile = true;
         else if (arg == "--json")
             json_path = value();
         else if (arg == "--baseline-cycles-per-sec")
@@ -91,6 +148,8 @@ main(int argc, char **argv)
     }
     if (reps == 0)
         reps = 1;
+    if (sim_threads == 0)
+        sim_threads = 1;
 
     const SuiteDef *suite = find_suite(suite_name);
     if (suite == nullptr) {
@@ -99,14 +158,20 @@ main(int argc, char **argv)
         return 2;
     }
 
-    const SweepSpec spec = suite->make();
+    SweepSpec spec = suite->make();
+    for (auto &[cfg_name, cfg] : spec.configs)
+        cfg.sim_threads = sim_threads;
+
+    gpushield::obs::HostEngineProfiler prof;
     SweepOptions opts;
-    opts.jobs = 1; // single-threaded: measure the simulator, not the pool
+    opts.jobs = 1; // one cell at a time: measure the engine, not the pool
     opts.progress = nullptr;
+    opts.engine_prof = engine_profile ? &prof : nullptr;
 
     double best_wall = 0.0;
     std::uint64_t sim_cycles = 0;
     std::uint64_t events = 0;
+    std::uint64_t cycles_skipped = 0;
     std::size_t cells = 0;
     bool all_ok = true;
 
@@ -120,6 +185,7 @@ main(int argc, char **argv)
             cells = result.metrics.records().size();
             for (const RunRecord &r : result.metrics.records()) {
                 sim_cycles += r.cycles;
+                cycles_skipped += r.cycles_skipped;
                 events += stat_events(r.rcache) + stat_events(r.bcu) +
                           stat_events(r.mem) + stat_events(r.kernel);
             }
@@ -132,21 +198,39 @@ main(int argc, char **argv)
         best_wall > 0.0 ? static_cast<double>(sim_cycles) / best_wall : 0.0;
     const double events_per_sec =
         best_wall > 0.0 ? static_cast<double>(events) / best_wall : 0.0;
+    const double speedup_vs_seed = cycles_per_sec / kSeedBaselineCyclesPerSec;
+
+    std::ostringstream entry;
+    entry << "{\"suite\":\"" << json_escape(suite_name) << "\""
+          << ",\"sim_threads\":" << sim_threads
+          << ",\"cycles_per_sec\":" << fmt(cycles_per_sec, 1)
+          << ",\"speedup_vs_seed\":" << fmt(speedup_vs_seed, 3) << "}";
+
+    std::string trajectory = prior_trajectory(json_path);
+    if (!trajectory.empty())
+        trajectory += ",";
+    trajectory += entry.str();
 
     std::ostringstream json;
     json << "{\"suite\":\"" << json_escape(suite_name) << "\""
          << ",\"reps\":" << reps << ",\"jobs\":1"
+         << ",\"sim_threads\":" << sim_threads
          << ",\"cells\":" << cells << ",\"all_ok\":"
          << (all_ok ? "true" : "false")
-         << ",\"sim_cycles\":" << sim_cycles << ",\"events\":" << events
+         << ",\"sim_cycles\":" << sim_cycles
+         << ",\"cycles_skipped\":" << cycles_skipped
+         << ",\"events\":" << events
          << ",\"best_wall_seconds\":" << fmt(best_wall, 6)
          << ",\"cycles_per_sec\":" << fmt(cycles_per_sec, 1)
-         << ",\"events_per_sec\":" << fmt(events_per_sec, 1);
+         << ",\"events_per_sec\":" << fmt(events_per_sec, 1)
+         << ",\"seed_baseline_cycles_per_sec\":"
+         << fmt(kSeedBaselineCyclesPerSec, 1)
+         << ",\"speedup_vs_seed\":" << fmt(speedup_vs_seed, 3);
     if (baseline > 0.0) {
         json << ",\"baseline_cycles_per_sec\":" << fmt(baseline, 1)
              << ",\"speedup\":" << fmt(cycles_per_sec / baseline, 3);
     }
-    json << "}";
+    json << ",\"trajectory\":[" << trajectory << "]}";
 
     std::ofstream out(json_path);
     if (!out.is_open()) {
@@ -157,14 +241,18 @@ main(int argc, char **argv)
     out << json.str() << "\n";
 
     std::printf("%s\n", json.str().c_str());
-    std::printf("suite %s: %zu cells, %llu sim cycles, %llu events, "
-                "best of %u reps %.4f s -> %.3e cycles/s, %.3e events/s\n",
+    std::printf("suite %s: %zu cells, %llu sim cycles (%llu skipped), "
+                "%llu events, best of %u reps %.4f s -> %.3e cycles/s, "
+                "%.3e events/s (%.2fx vs seed engine)\n",
                 suite_name.c_str(), cells,
                 static_cast<unsigned long long>(sim_cycles),
+                static_cast<unsigned long long>(cycles_skipped),
                 static_cast<unsigned long long>(events), reps, best_wall,
-                cycles_per_sec, events_per_sec);
+                cycles_per_sec, events_per_sec, speedup_vs_seed);
     if (baseline > 0.0)
         std::printf("speedup vs baseline %.3e: %.2fx\n", baseline,
                     cycles_per_sec / baseline);
+    if (engine_profile)
+        std::fprintf(stderr, "%s", prof.report().c_str());
     return all_ok ? 0 : 1;
 }

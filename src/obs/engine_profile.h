@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Host-side self-profiling of the simulation engine.
+ *
+ * The stall-attribution profiler (profiler.h) explains where *simulated*
+ * cycles go; this one explains where *host wall-time* goes while the
+ * engine produces them — per engine phase: workgroup dispatch, the
+ * (possibly parallel) issue phase, the barrier wait for worker threads,
+ * the serial effect drain, event-queue dispatch, and kernel detach.
+ * That is the data needed to burn down residual serial hot spots in the
+ * parallel-SM engine (Amdahl accounting: drain + events + barrier are
+ * the serial fraction).
+ *
+ * Attached via Gpu::set_engine_profiler(); when detached the engine
+ * reads no clocks, so the default path costs one branch per phase.
+ * Unlike the stall profiler, attaching one never serializes or
+ * per-cycle-ticks the engine — it measures whatever engine mode runs.
+ */
+
+#ifndef GPUSHIELD_OBS_ENGINE_PROFILE_H
+#define GPUSHIELD_OBS_ENGINE_PROFILE_H
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace gpushield::obs {
+
+/** Wall-time accumulator for the engine's per-cycle phases. */
+class HostEngineProfiler
+{
+  public:
+    enum class Phase : unsigned {
+        Dispatch,    //!< serial workgroup dispatch across cores
+        Issue,       //!< core issue phase (serial: whole core pass)
+        BarrierWait, //!< main thread blocked in pool wait_idle()
+        Drain,       //!< serial LSU→hierarchy effect replay
+        Events,      //!< event-queue dispatch (step / jump run_until)
+        Detach,      //!< completed-kernel detach + RCache flush
+    };
+    static constexpr unsigned kPhases = 6;
+
+    using clock = std::chrono::steady_clock;
+
+    /** Accumulates @p ns nanoseconds of wall time into @p p. */
+    void
+    add(Phase p, std::uint64_t ns)
+    {
+        ns_[static_cast<unsigned>(p)] += ns;
+        ++calls_[static_cast<unsigned>(p)];
+    }
+
+    /** Records the engine's cycle accounting for rate reporting. */
+    void
+    note_cycles(std::uint64_t simulated, std::uint64_t skipped)
+    {
+        cycles_simulated_ += simulated;
+        cycles_skipped_ += skipped;
+    }
+
+    std::uint64_t ns(Phase p) const
+    {
+        return ns_[static_cast<unsigned>(p)];
+    }
+    std::uint64_t total_ns() const;
+    std::uint64_t cycles_simulated() const { return cycles_simulated_; }
+    std::uint64_t cycles_skipped() const { return cycles_skipped_; }
+
+    static const char *phase_name(Phase p);
+
+    /** Human-readable per-phase table (ns, share, calls). */
+    std::string report() const;
+
+    /** Single-line JSON object (nanoseconds per phase + cycle counts)
+     *  for embedding in bench records. */
+    std::string json() const;
+
+  private:
+    std::array<std::uint64_t, kPhases> ns_{};
+    std::array<std::uint64_t, kPhases> calls_{};
+    std::uint64_t cycles_simulated_ = 0;
+    std::uint64_t cycles_skipped_ = 0;
+};
+
+/** RAII phase timer: accumulates on destruction when @p prof is
+ *  non-null; a no-op (no clock read) otherwise. */
+class EnginePhaseTimer
+{
+  public:
+    EnginePhaseTimer(HostEngineProfiler *prof, HostEngineProfiler::Phase p)
+        : prof_(prof), phase_(p)
+    {
+        if (prof_ != nullptr)
+            start_ = HostEngineProfiler::clock::now();
+    }
+
+    ~EnginePhaseTimer()
+    {
+        if (prof_ != nullptr) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    HostEngineProfiler::clock::now() - start_)
+                    .count();
+            prof_->add(phase_, static_cast<std::uint64_t>(ns));
+        }
+    }
+
+    EnginePhaseTimer(const EnginePhaseTimer &) = delete;
+    EnginePhaseTimer &operator=(const EnginePhaseTimer &) = delete;
+
+  private:
+    HostEngineProfiler *prof_;
+    HostEngineProfiler::Phase phase_;
+    HostEngineProfiler::clock::time_point start_{};
+};
+
+} // namespace gpushield::obs
+
+#endif // GPUSHIELD_OBS_ENGINE_PROFILE_H

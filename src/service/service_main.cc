@@ -39,6 +39,9 @@ usage(const char *argv0)
            "  --mode M           timeslice (default) or cosched\n"
            "  --tenants N        demo tenant count (default 2)\n"
            "  --quantum N        time-slice quantum (default 1)\n"
+           "  --sim-threads N    parallel-SM engine workers inside the\n"
+           "                     simulated GPU (default 1); results are\n"
+           "                     byte-identical to serial\n"
            "  --json FILE        fairness: write the JSON report here\n"
            "  --quick            shrink workloads (CI smoke)\n"
            "  --quiet            suppress per-item output\n";
@@ -171,6 +174,11 @@ main(int argc, char **argv)
             tenants = static_cast<unsigned>(std::stoul(next()));
         } else if (a == "--quantum") {
             cfg.quantum = static_cast<unsigned>(std::stoul(next()));
+        } else if (a == "--sim-threads") {
+            cfg.gpu.sim_threads =
+                static_cast<unsigned>(std::stoul(next()));
+            if (cfg.gpu.sim_threads == 0)
+                cfg.gpu.sim_threads = 1;
         } else if (a == "--json") {
             json_path = next();
         } else if (a == "--quick") {

@@ -24,7 +24,9 @@ Core::Core(CoreId id, const GpuConfig &cfg, EventQueue &eq,
 void
 Core::attach_kernel(KernelExec *kernel)
 {
+    dispatch_possible_ = true;
     resident_.push_back(kernel);
+    shards_.push_back(std::make_unique<KernelShard>(kernel));
     if (kernel->launch->shield_enabled) {
         bcu_.register_kernel(kernel->launch->kernel_id,
                              kernel->launch->secret_key,
@@ -35,8 +37,16 @@ Core::attach_kernel(KernelExec *kernel)
 void
 Core::detach_kernel(KernelExec *kernel)
 {
+    dispatch_possible_ = true; // an abort may free slots below
     resident_.erase(std::remove(resident_.begin(), resident_.end(), kernel),
                     resident_.end());
+    for (auto it = shards_.begin(); it != shards_.end(); ++it) {
+        if ((*it)->kernel == kernel) {
+            kernel->stats.merge((*it)->stats);
+            shards_.erase(it);
+            break;
+        }
+    }
     if (kernel->launch->shield_enabled)
         bcu_.deregister_kernel(kernel->launch->kernel_id);
     // Kill any still-live workgroups (kernel aborts).
@@ -52,6 +62,16 @@ Core::detach_kernel(KernelExec *kernel)
                     id_, static_cast<unsigned>(s), eq_.now());
         }
     }
+}
+
+Core::KernelShard *
+Core::shard_for(KernelExec *kernel)
+{
+    for (auto &shard : shards_)
+        if (shard->kernel == kernel)
+            return shard.get();
+    panic("Core: no stat shard for resident kernel");
+    return nullptr;
 }
 
 unsigned
@@ -89,7 +109,7 @@ Core::recompute_ready_hint(Cycle now)
 bool
 Core::try_dispatch()
 {
-    if (resident_.empty())
+    if (!dispatch_possible_ || resident_.empty())
         return false;
     for (std::size_t n = 0; n < resident_.size(); ++n) {
         KernelExec *kernel =
@@ -107,13 +127,60 @@ Core::try_dispatch()
                                  [](const WorkgroupCtx &wg) {
                                      return !wg.live;
                                  });
-        if (slot == slots_.end())
+        if (slot == slots_.end()) {
+            dispatch_possible_ = false;
             return false;
+        }
         start_workgroup(kernel, kernel->next_wg++);
         dispatch_rr_ = (dispatch_rr_ + n + 1) % resident_.size();
         return true;
     }
+    dispatch_possible_ = false;
     return false;
+}
+
+bool
+Core::can_dispatch() const
+{
+    if (!dispatch_possible_)
+        return false;
+    // Mirror of try_dispatch without the mutation: a dispatch happens
+    // iff some kernel passes the eligibility checks and a slot is free
+    // (the round-robin cursor picks which kernel, not whether).
+    bool have_slot = false;
+    for (const WorkgroupCtx &wg : slots_) {
+        if (!wg.live) {
+            have_slot = true;
+            break;
+        }
+    }
+    if (!have_slot)
+        return false;
+    for (const KernelExec *kernel : resident_) {
+        if (kernel->done || kernel->aborted ||
+            kernel->next_wg >= kernel->total_wgs())
+            continue;
+        if (((kernel->core_mask >> id_) & 1) == 0)
+            continue;
+        const unsigned warps_needed =
+            (kernel->launch->ntid + kWarpSize - 1) / kWarpSize;
+        if (warps_in_use_ + warps_needed > cfg_.max_warps_per_core)
+            continue;
+        return true;
+    }
+    return false;
+}
+
+Cycle
+Core::next_work_cycle(Cycle from) const
+{
+    if (can_dispatch())
+        return from;
+    if (live_workgroups_ == 0)
+        return kCycleMax;
+    if (ready_hint_ >= kCycleMax)
+        return kCycleMax; // every warp waits on an event-queue wakeup
+    return std::max(std::max(ready_hint_, issue_busy_until_), from);
 }
 
 void
@@ -130,6 +197,7 @@ Core::start_workgroup(KernelExec *kernel, std::uint32_t wg_index)
     wg.warps_at_barrier = 0;
     wg.warps_finished = 0;
     wg.live = true;
+    wg.shard = shard_for(kernel);
     wg.token = std::make_shared<bool>(true);
 
     const KernelProgram &prog = kernel->launch->program;
@@ -222,15 +290,22 @@ Core::profile_cycle()
 bool
 Core::tick()
 {
-    try_dispatch();
+    const bool dispatched = try_dispatch();
+    return issue_phase(/*drain_each=*/true) || dispatched;
+}
+
+bool
+Core::issue_phase(bool drain_each)
+{
     if (live_workgroups_ == 0)
         return false;
 
+    drain_inline_ = drain_each;
     const Cycle now = eq_.now();
     if (now < issue_busy_until_)
-        return true;
+        return false; // stalled front-end: no progress this cycle
     if (now < ready_hint_)
-        return true; // no warp can issue before the hint cycle
+        return false; // no warp can issue before the hint cycle
 
     unsigned issued = 0;
     // Greedy-then-oldest: re-issue from the last warp first, then scan
@@ -244,6 +319,8 @@ Core::tick()
             return false;
         if (!issue_one(wg, warp))
             return false;
+        if (drain_each)
+            drain_pending();
         greedy_slot_ = slot_idx;
         greedy_warp_ = warp_idx;
         ++issued;
@@ -279,7 +356,7 @@ Core::tick()
             break;
     }
     recompute_ready_hint(now);
-    return true;
+    return issued > 0;
 }
 
 bool
@@ -296,10 +373,29 @@ Core::issue_one(WorkgroupCtx &wg, WarpState &warp)
     if (is_global_mem(next.op) && now < lsu_busy_until_)
         return false;
 
+    // Device-side malloc mutates allocator/page-table state shared
+    // across cores, so the instruction executes in the serial drain.
+    // Inline only when an observer needs exact per-step hook order
+    // (observers force a serial engine, where inline == deferred).
+    if (next.op == Op::Malloc && observer_ == nullptr &&
+        lane_obs_ == nullptr) {
+        ++wg.shard->hot.instructions;
+        ++c_issued_;
+        if (profiler_ != nullptr)
+            warp.profile_issued = true;
+        warp.status = WarpStatus::Blocked; // until the drain allocates
+        Pending p;
+        p.kind = Pending::Kind::Malloc;
+        p.wg = &wg;
+        p.warp = &warp;
+        pending_.push_back(std::move(p));
+        return true;
+    }
+
     const int issue_pc = warp.pc;
     const StepResult result =
         kernel->interp->step(warp, wg.shared_mem);
-    ++kernel->hot.instructions;
+    ++wg.shard->hot.instructions;
     ++c_issued_;
     if (profiler_ != nullptr)
         warp.profile_issued = true;
@@ -319,13 +415,14 @@ Core::issue_one(WorkgroupCtx &wg, WarpState &warp)
         warp.ready_cycle = now + cfg_.sfu_latency;
         break;
       case StepKind::SharedMem:
-        ++kernel->hot.shared_accesses;
+        ++wg.shard->hot.shared_accesses;
         warp.ready_cycle = now + cfg_.shared_latency;
         break;
       case StepKind::Malloc: {
-        // Device-side malloc serializes allocator metadata updates
-        // across the whole GPU (footnote 2's contention).
-        kernel->hot.mallocs += result.malloc_count;
+        // Inline path (observer attached, engine serial): device-side
+        // malloc serializes allocator metadata updates across the whole
+        // GPU (footnote 2's contention).
+        wg.shard->hot.mallocs += result.malloc_count;
         kernel->malloc_busy_until =
             std::max(kernel->malloc_busy_until, now) +
             static_cast<Cycle>(result.malloc_count) *
@@ -368,10 +465,21 @@ Core::finish_warp(WorkgroupCtx &wg)
 {
     if (wg.warps_finished < wg.warps.size())
         return;
-    // Workgroup complete.
+    // Workgroup complete: kernel progress counters are shared state, so
+    // completion is applied in the drain.
+    Pending p;
+    p.kind = Pending::Kind::Finish;
+    p.wg = &wg;
+    pending_.push_back(std::move(p));
+}
+
+void
+Core::drain_finish(WorkgroupCtx &wg)
+{
     wg.live = false;
     --live_workgroups_;
     warps_in_use_ -= static_cast<unsigned>(wg.warps.size());
+    dispatch_possible_ = true; // a slot and warp budget just freed up
     if (profiler_ != nullptr)
         profiler_->on_workgroup_end(
             id_, static_cast<unsigned>(&wg - slots_.data()), eq_.now());
@@ -382,6 +490,25 @@ Core::finish_warp(WorkgroupCtx &wg)
         kernel->done = true;
         kernel->end_cycle = eq_.now();
     }
+}
+
+void
+Core::drain_malloc(Pending &p)
+{
+    WorkgroupCtx &wg = *p.wg;
+    KernelExec *kernel = wg.kernel;
+    // The deferred step performs the allocation and writes the result
+    // registers; pc/register state is untouched since the issue peek,
+    // so this is the same step the serial engine ran inline.
+    const StepResult result = kernel->interp->step(*p.warp, wg.shared_mem);
+    wg.shard->hot.mallocs += result.malloc_count;
+    kernel->malloc_busy_until =
+        std::max(kernel->malloc_busy_until, eq_.now()) +
+        static_cast<Cycle>(result.malloc_count) *
+            cfg_.malloc_serialize_cycles;
+    p.warp->status = WarpStatus::Ready;
+    p.warp->ready_cycle = kernel->malloc_busy_until;
+    note_ready(p.warp->ready_cycle);
 }
 
 void
@@ -401,14 +528,15 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
     const Cycle now = eq_.now();
     KernelExec *kernel = wg.kernel;
     LaunchState &launch = *kernel->launch;
+    KernelHotCounters &hot = wg.shard->hot;
     if (op.is_store)
-        ++kernel->hot.stores;
+        ++hot.stores;
     else
-        ++kernel->hot.loads;
+        ++hot.loads;
 
     coalesce_into(op, cfg_.mem.l1.line_size, lines_scratch_);
     const std::vector<VAddr> &lines = lines_scratch_;
-    kernel->hot.transactions += lines.size();
+    hot.transactions += lines.size();
     if (profiler_ != nullptr)
         profiler_->on_coalesce(active_lanes(op),
                                static_cast<unsigned>(lines.size()));
@@ -419,38 +547,25 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         issue_busy_until_ =
             std::max(issue_busy_until_, now) +
             kernel->instr_extra_cycles_per_mem;
-        kernel->hot.instr_overhead_cycles +=
-            kernel->instr_extra_cycles_per_mem;
+        hot.instr_overhead_cycles += kernel->instr_extra_cycles_per_mem;
     }
 
-    // Track load completion across all transactions. The workgroup
-    // token guards against callbacks outliving an aborted kernel's
-    // (reused) slot.
-    auto remaining = std::make_shared<unsigned>(0);
-    WarpState *warp_ptr = &warp;
     const bool is_load = !op.is_store;
-    bool refill_outstanding = false;
-    std::weak_ptr<bool> alive = wg.token;
-    auto on_done = [this, remaining, warp_ptr, alive]() {
-        if (--*remaining == 0 && !alive.expired()) {
-            warp_ptr->status = WarpStatus::Ready;
-            warp_ptr->ready_cycle = eq_.now();
-            warp_ptr->profile_block_refill = false;
-            note_ready(warp_ptr->ready_cycle);
-        }
-    };
 
     // --- Bounds check (BCU, runs alongside the D-TLB/D-cache tag
     // stage; a failing check squashes the offending lanes before
-    // commit) ----------------------------------------------------------
+    // commit). Core-local: RCache, counters and the violation log live
+    // in this core's BCU; the shared RBT is only read. ------------------
     LaneMask suppress_mask = 0;
     const bool shield = launch.shield_enabled;
     const bool dcache_probe_hit =
         !lines.empty() && hier_.l1(id_).probe(lines.front());
     MemCheckEvent ev;
     bool abort_now = false;
+    bool refill = false;
+    PAddr refill_paddr = 0;
     if (shield && op.instr->check == CheckMode::StaticSafe) {
-        ++kernel->hot.checks_elided;
+        ++hot.checks_elided;
         ev.elided = true;
     } else if (shield &&
                (op.has_bt ||
@@ -475,7 +590,7 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         req.silent = op.instr->check == CheckMode::GuardReplaced;
 
         const BcuResponse resp = bcu_.check(req);
-        ++kernel->hot.checks;
+        ++hot.checks;
         if (resp.stall_cycles > 0) {
             // Exposed pipeline bubble: the LSU (and issue stage behind
             // it) stalls.
@@ -485,17 +600,12 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
                 std::max(lsu_busy_until_, now + resp.stall_cycles);
             bcu_busy_until_ =
                 std::max(bcu_busy_until_, now + resp.stall_cycles);
-            kernel->hot.bcu_stall_cycles += resp.stall_cycles;
+            hot.bcu_stall_cycles += resp.stall_cycles;
         }
         if (resp.refill) {
-            ++kernel->hot.rbt_refills;
-            if (is_load) {
-                ++*remaining;
-                refill_outstanding = true;
-                hier_.access_physical(resp.refill_paddr, on_done);
-            } else {
-                hier_.access_physical(resp.refill_paddr, [] {});
-            }
+            ++hot.rbt_refills;
+            refill = true;
+            refill_paddr = resp.refill_paddr;
         }
         if (resp.violation) {
             // Detection is warp-granular; squashing is lane-granular
@@ -515,13 +625,13 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
                 suppress_mask = op.mask;
             }
             if (!req.silent) {
-                ++kernel->hot.violations;
+                ++hot.violations;
                 // §5.5.2: precise-exception GPUs raise a fault at the
                 // offending instruction instead of logging. Deferred
                 // past the lane-observer hook below.
                 abort_now = cfg_.precise_exceptions;
             } else {
-                kernel->hot.guard_suppressed_lanes +=
+                hot.guard_suppressed_lanes +=
                     static_cast<std::uint64_t>(
                         std::popcount(suppress_mask));
             }
@@ -531,7 +641,7 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         ev.silent = req.silent;
         ev.kind = resp.kind;
     } else if (shield) {
-        ++kernel->hot.checks_skipped_unprotected;
+        ++hot.checks_skipped_unprotected;
         ev.skipped_unprotected = true;
     }
 
@@ -544,56 +654,110 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         ev.suppress_mask = suppress_mask;
         lane_obs_->on_mem_check(ev);
     }
-    if (abort_now) {
-        abort_kernel(kernel);
+
+    // The verdict is in; apply (serial) or buffer (parallel) the
+    // shared-state effects — traffic, functional apply, abort — and
+    // settle the warp's timing.
+    bool fully_suppressed = false;
+    bool partial = false;
+    if (!abort_now) {
+        fully_suppressed = suppress_mask == op.mask;
+        if (suppress_mask != 0 && !fully_suppressed) {
+            MemOp surviving = op;
+            surviving.mask = op.mask & ~suppress_mask;
+            coalesce_into(surviving, cfg_.mem.l1.line_size,
+                          live_lines_scratch_);
+            partial = true;
+        }
+    }
+
+    // Serial engine: replay the effects right now, straight from the
+    // issue-time locals — no Pending is built, no MemOp is copied, and
+    // no would_fault probe runs (the replay discovers faults itself).
+    // Timing applies only when the replay completed: faults and
+    // precise aborts leave the warp and LSU untouched, exactly like
+    // the buffered path below.
+    if (drain_inline_) {
+        if (drain_mem_impl(wg, warp, op, lines_scratch_,
+                           partial ? &live_lines_scratch_ : nullptr,
+                           fully_suppressed, suppress_mask, refill,
+                           refill_paddr, abort_now)) {
+            const std::vector<VAddr> &live =
+                partial ? live_lines_scratch_ : lines_scratch_;
+            const unsigned outstanding =
+                static_cast<unsigned>(
+                    fully_suppressed ? 0 : live.size()) +
+                (refill && is_load ? 1u : 0u);
+            if (is_load) {
+                if (outstanding > 0) {
+                    warp.status = WarpStatus::Blocked;
+                    warp.profile_block_refill = refill;
+                } else {
+                    warp.ready_cycle = now + cfg_.mem.l1_latency;
+                }
+            } else {
+                warp.ready_cycle = now + 1;
+            }
+            lsu_busy_until_ =
+                std::max(lsu_busy_until_, now + lines_scratch_.size());
+        }
         return;
     }
 
-    // --- Memory traffic (squashed entirely when every lane faults;
-    // partially-squashed warps only fetch the surviving lanes' lines) -
-    const bool fully_suppressed = suppress_mask == op.mask;
-    const std::vector<VAddr> *live_lines = &lines;
-    if (suppress_mask != 0 && !fully_suppressed) {
-        MemOp surviving = op;
-        surviving.mask = op.mask & ~suppress_mask;
-        coalesce_into(surviving, cfg_.mem.l1.line_size,
-                      live_lines_scratch_);
-        live_lines = &live_lines_scratch_;
-    }
-    if (!fully_suppressed) {
-        for (const VAddr line : *live_lines) {
-            const AccessIssue issue = hier_.access(
-                id_, line, op.is_store,
-                is_load ? MemoryHierarchy::Callback(on_done)
-                        : MemoryHierarchy::Callback([] {}));
-            if (issue.translation_fault || issue.permission_fault) {
-                abort_kernel(kernel);
-                return;
-            }
-            if (is_load)
-                ++*remaining;
-        }
-        // Shadow-metadata traffic for instrumented baselines. Shadow
-        // pages are tool-managed and physically addressed here.
-        for (unsigned x = 0; x < kernel->instr_extra_transactions; ++x) {
-            const PAddr shadow = 0x0000'F000'0000ull +
-                                 (live_lines->empty()
-                                      ? op.min_addr % 4096
-                                      : live_lines->front() % 4096) +
-                                 static_cast<PAddr>(x) * kLineSize;
-            hier_.access_physical(shadow, [] {});
-        }
+    // Parallel engine: buffer for the serial drain. The drain must not
+    // touch core-local scheduling state, so the warp's status decision
+    // is settled here with a pure fault probe.
+    Pending p;
+    p.kind = Pending::Kind::Mem;
+    p.wg = &wg;
+    p.warp = &warp;
+    p.op = op;
+    p.lines = std::move(lines_scratch_);
+    p.suppress_mask = suppress_mask;
+    p.refill = refill;
+    p.refill_paddr = refill_paddr;
+    p.abort_now = abort_now;
+    p.fully_suppressed = fully_suppressed;
+    if (partial) {
+        p.live_lines = std::move(live_lines_scratch_);
+        p.partial = true;
     }
 
-    // Functional effect (after the verdict so violations suppress).
-    kernel->interp->apply_mem(warp, op, suppress_mask);
+    if (abort_now) {
+        // Precise exception: no traffic, no functional effect, and —
+        // matching the serial engine — no warp/LSU timing updates.
+        pending_.push_back(std::move(p));
+        return;
+    }
+
+    const std::vector<VAddr> &live =
+        p.partial ? p.live_lines : p.lines;
+    bool faults = false;
+    if (!p.fully_suppressed) {
+        for (const VAddr line : live) {
+            if (hier_.would_fault(line, op.is_store)) {
+                faults = true;
+                break;
+            }
+        }
+    }
+    if (faults) {
+        // The drain's replay hits the same translation fault and aborts
+        // the kernel there; the serial engine leaves the warp and LSU
+        // untouched in this case, so we do too.
+        pending_.push_back(std::move(p));
+        return;
+    }
 
     // Timing: loads block until data (and any RBT refill) returns;
     // stores retire through the store path next cycle.
+    const unsigned outstanding =
+        static_cast<unsigned>(p.fully_suppressed ? 0 : live.size()) +
+        (refill && is_load ? 1u : 0u);
     if (is_load) {
-        if (*remaining > 0) {
+        if (outstanding > 0) {
             warp.status = WarpStatus::Blocked;
-            warp.profile_block_refill = refill_outstanding;
+            warp.profile_block_refill = refill;
         } else {
             warp.ready_cycle = now + cfg_.mem.l1_latency;
         }
@@ -603,7 +767,110 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
 
     // The LSU accepts one memory instruction per cycle; additional
     // coalesced transactions occupy it longer.
-    lsu_busy_until_ = std::max(lsu_busy_until_, now + lines.size());
+    lsu_busy_until_ = std::max(lsu_busy_until_, now + p.lines.size());
+
+    pending_.push_back(std::move(p));
+}
+
+bool
+Core::drain_mem_impl(WorkgroupCtx &wg, WarpState &warp,
+                     const MemOp &op,
+                     const std::vector<VAddr> &lines,
+                     const std::vector<VAddr> *live_lines,
+                     bool fully_suppressed, LaneMask suppress_mask,
+                     bool refill, PAddr refill_paddr, bool abort_now)
+{
+    KernelExec *kernel = wg.kernel;
+    const bool is_load = !op.is_store;
+
+    // Track load completion across all transactions. The workgroup
+    // token guards against callbacks outliving an aborted kernel's
+    // (reused) slot. Completion events carry latencies >= 1 cycle, so
+    // nothing fires before this drain returns.
+    auto remaining = std::make_shared<unsigned>(0);
+    WarpState *warp_ptr = &warp;
+    std::weak_ptr<bool> alive = wg.token;
+    auto on_done = [this, remaining, warp_ptr, alive]() {
+        if (--*remaining == 0 && !alive.expired()) {
+            warp_ptr->status = WarpStatus::Ready;
+            warp_ptr->ready_cycle = eq_.now();
+            warp_ptr->profile_block_refill = false;
+            note_ready(warp_ptr->ready_cycle);
+        }
+    };
+
+    if (refill) {
+        if (is_load) {
+            ++*remaining;
+            hier_.access_physical(refill_paddr, on_done);
+        } else {
+            hier_.access_physical(refill_paddr, [] {});
+        }
+    }
+    if (abort_now) {
+        abort_kernel(kernel);
+        return false;
+    }
+
+    // --- Memory traffic (squashed entirely when every lane faults;
+    // partially-squashed warps only fetch the surviving lanes' lines) -
+    const std::vector<VAddr> &live =
+        live_lines != nullptr ? *live_lines : lines;
+    if (!fully_suppressed) {
+        for (const VAddr line : live) {
+            const AccessIssue issue = hier_.access(
+                id_, line, op.is_store,
+                is_load ? MemoryHierarchy::Callback(on_done)
+                        : MemoryHierarchy::Callback([] {}));
+            if (issue.translation_fault || issue.permission_fault) {
+                abort_kernel(kernel);
+                return false;
+            }
+            if (is_load)
+                ++*remaining;
+        }
+        // Shadow-metadata traffic for instrumented baselines. Shadow
+        // pages are tool-managed and physically addressed here.
+        for (unsigned x = 0; x < kernel->instr_extra_transactions; ++x) {
+            const PAddr shadow = 0x0000'F000'0000ull +
+                                 (live.empty()
+                                      ? op.min_addr % 4096
+                                      : live.front() % 4096) +
+                                 static_cast<PAddr>(x) * kLineSize;
+            hier_.access_physical(shadow, [] {});
+        }
+    }
+
+    // Functional effect (after the verdict so violations suppress).
+    kernel->interp->apply_mem(warp, op, suppress_mask);
+    return true;
+}
+
+void
+Core::drain_pending()
+{
+    for (Pending &p : pending_) {
+        switch (p.kind) {
+          case Pending::Kind::Mem:
+            drain_mem_impl(*p.wg, *p.warp, p.op, p.lines,
+                           p.partial ? &p.live_lines : nullptr,
+                           p.fully_suppressed, p.suppress_mask,
+                           p.refill, p.refill_paddr, p.abort_now);
+            // Hand the line buffers back so the next handle_mem call
+            // allocates nothing in steady state.
+            lines_scratch_ = std::move(p.lines);
+            if (p.partial)
+                live_lines_scratch_ = std::move(p.live_lines);
+            break;
+          case Pending::Kind::Malloc:
+            drain_malloc(p);
+            break;
+          case Pending::Kind::Finish:
+            drain_finish(*p.wg);
+            break;
+        }
+    }
+    pending_.clear();
 }
 
 } // namespace gpushield

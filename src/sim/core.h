@@ -8,6 +8,25 @@
  * the memory hierarchy, and the BCU check runs alongside the LSU
  * pipeline (Fig. 12), exposing a bubble only when the check latency
  * exceeds the pipeline shadow.
+ *
+ * A core's cycle is split into three phases so the engine can tick many
+ * cores concurrently (docs/INTERNALS.md, "Simulation engine"):
+ *
+ *  - dispatch_tick(): workgroup dispatch. Touches shared kernel state
+ *    (next_wg), so the engine runs it serially in core-ID order.
+ *  - issue_phase():   warp scheduling, interpreter execution, and the
+ *    BCU check. Touches only core-local state plus const reads of
+ *    shared structures (program, RBT, page table), so it is safe to
+ *    run concurrently across cores. Effects on shared state — memory
+ *    hierarchy traffic, device mallocs, kernel completion — are
+ *    buffered in a per-core pending list instead of applied.
+ *  - drain_pending(): replays the buffered effects against the
+ *    hierarchy/event queue. Serial, in core-ID order, FIFO within a
+ *    core, which reproduces the exact effect order of the serial
+ *    engine; results stay byte-identical.
+ *
+ * tick() = dispatch + issue + drain with the drain after every issued
+ * instruction, which is bit-exact with the historical monolithic tick.
  */
 
 #ifndef GPUSHIELD_SIM_CORE_H
@@ -33,6 +52,34 @@ class Profiler;
 
 namespace gpushield {
 
+/** Interned handles into a StatSet for every per-instruction counter
+ *  (resolved once at construction; bumped per event). Rare events
+ *  (e.g. translation_faults) stay string-keyed. */
+struct KernelHotCounters
+{
+    explicit KernelHotCounters(StatSet &s)
+        : instructions(s.counter("instructions")),
+          loads(s.counter("loads")), stores(s.counter("stores")),
+          transactions(s.counter("transactions")),
+          shared_accesses(s.counter("shared_accesses")),
+          mallocs(s.counter("mallocs")), checks(s.counter("checks")),
+          checks_elided(s.counter("checks_elided")),
+          checks_skipped_unprotected(
+              s.counter("checks_skipped_unprotected")),
+          bcu_stall_cycles(s.counter("bcu_stall_cycles")),
+          rbt_refills(s.counter("rbt_refills")),
+          violations(s.counter("violations")),
+          guard_suppressed_lanes(s.counter("guard_suppressed_lanes")),
+          instr_overhead_cycles(s.counter("instr_overhead_cycles"))
+    {
+    }
+
+    StatSet::Counter instructions, loads, stores, transactions,
+        shared_accesses, mallocs, checks, checks_elided,
+        checks_skipped_unprotected, bcu_stall_cycles, rbt_refills,
+        violations, guard_suppressed_lanes, instr_overhead_cycles;
+};
+
 /** A kernel under execution on the GPU (shared across its cores). */
 struct KernelExec
 {
@@ -55,36 +102,15 @@ struct KernelExec
     Cycle instr_extra_cycles_per_mem = 0;    //!< extra issue occupancy
     unsigned instr_extra_transactions = 0;   //!< shadow-metadata traffic
 
+    /**
+     * Merged per-kernel statistics. During execution each core
+     * accumulates into its own KernelShard (so concurrently issuing
+     * cores never touch this object); detach_kernel merges the shards
+     * in core-ID order. StatSet keys are sorted and merge is
+     * commutative, so the merged dump is identical to the historical
+     * first-touch accounting.
+     */
     StatSet stats;
-
-    /** Interned handles into @ref stats for every per-instruction
-     *  counter (resolved once at construction; bumped per event).
-     *  Rare events (e.g. translation_faults) stay string-keyed. */
-    struct HotCounters
-    {
-        explicit HotCounters(StatSet &s)
-            : instructions(s.counter("instructions")),
-              loads(s.counter("loads")), stores(s.counter("stores")),
-              transactions(s.counter("transactions")),
-              shared_accesses(s.counter("shared_accesses")),
-              mallocs(s.counter("mallocs")), checks(s.counter("checks")),
-              checks_elided(s.counter("checks_elided")),
-              checks_skipped_unprotected(
-                  s.counter("checks_skipped_unprotected")),
-              bcu_stall_cycles(s.counter("bcu_stall_cycles")),
-              rbt_refills(s.counter("rbt_refills")),
-              violations(s.counter("violations")),
-              guard_suppressed_lanes(s.counter("guard_suppressed_lanes")),
-              instr_overhead_cycles(s.counter("instr_overhead_cycles"))
-        {
-        }
-
-        StatSet::Counter instructions, loads, stores, transactions,
-            shared_accesses, mallocs, checks, checks_elided,
-            checks_skipped_unprotected, bcu_stall_cycles, rbt_refills,
-            violations, guard_suppressed_lanes, instr_overhead_cycles;
-    };
-    HotCounters hot{stats};
 
     std::uint32_t total_wgs() const { return launch->nctaid; }
 };
@@ -99,12 +125,50 @@ class Core
     /** Makes @p kernel resident (registers its key/RBT with the BCU). */
     void attach_kernel(KernelExec *kernel);
 
-    /** Removes a finished kernel; flushes RCaches (§5.5). */
+    /** Removes a finished kernel; flushes RCaches (§5.5) and merges
+     *  this core's stat shard into the kernel's StatSet. */
     void detach_kernel(KernelExec *kernel);
 
-    /** Advances the core by one cycle. @return true if it did any work
-     *  or still holds unfinished workgroups. */
+    /** Advances the core by one cycle, applying all effects inline
+     *  (dispatch + issue with per-instruction drain). The serial
+     *  engine path. @return true if the core made progress this cycle
+     *  (dispatched a workgroup or issued an instruction). */
     bool tick();
+
+    /** Phase 1: workgroup dispatch (serial; mutates shared kernel
+     *  dispatch state). @return true if a workgroup was started. */
+    bool dispatch_tick() { return try_dispatch(); }
+
+    /**
+     * Phase 2: warp scheduling + execution for this cycle. With
+     * @p drain_each the pending effects are applied after every issued
+     * instruction (bit-exact serial semantics); without it they buffer
+     * for drain_pending(), and the phase touches no shared mutable
+     * state — safe to run concurrently across cores.
+     * @return true if at least one instruction issued this cycle —
+     * the engine's progress signal (a stalled or empty core returns
+     * false, making the cycle a candidate for a clock jump).
+     */
+    bool issue_phase(bool drain_each);
+
+    /** Phase 3: replays buffered effects (hierarchy traffic, mallocs,
+     *  workgroup completion, aborts) in issue order. Serial. */
+    void drain_pending();
+
+    /** True when a call to dispatch_tick() would start a workgroup.
+     *  Pure; used by the engine to compute clock jumps (dispatch
+     *  opportunities only appear at engine-visible transitions). */
+    bool can_dispatch() const;
+
+    /**
+     * Earliest cycle >= @p from at which this core could do any work:
+     * dispatch a workgroup, or issue from some warp. kCycleMax when
+     * the core is idle or every resident warp waits on an event-queue
+     * wakeup. May be conservatively early (the ready hint is a lower
+     * bound) — the engine then ticks a core that does nothing, which
+     * is harmless; it is never late.
+     */
+    Cycle next_work_cycle(Cycle from) const;
 
     /** True when no workgroups are resident. */
     bool idle() const { return live_workgroups_ == 0; }
@@ -117,6 +181,10 @@ class Core
     /** Attaches an instruction-issue observer (GT-Pin-style hook);
      *  nullptr detaches. Not owned. */
     void set_observer(IssueObserver *observer) { observer_ = observer; }
+
+    /** True when an issue observer is attached (the engine serializes
+     *  and inlines device mallocs to preserve exact event order). */
+    bool has_observer() const { return observer_ != nullptr; }
 
     /** Attaches a per-lane check observer (conformance oracle hook);
      *  nullptr detaches. Not owned. */
@@ -136,6 +204,17 @@ class Core
     void profile_cycle();
 
   private:
+    /** Per-core, per-resident-kernel statistics shard. Cores bump only
+     *  their own shard during the (possibly concurrent) issue phase;
+     *  detach_kernel merges it into KernelExec::stats. */
+    struct KernelShard
+    {
+        explicit KernelShard(KernelExec *k) : kernel(k) {}
+        KernelExec *kernel;
+        StatSet stats;
+        KernelHotCounters hot{stats};
+    };
+
     struct WorkgroupCtx
     {
         KernelExec *kernel = nullptr;
@@ -145,9 +224,40 @@ class Core
         unsigned warps_at_barrier = 0;
         unsigned warps_finished = 0;
         bool live = false;
+        /** This core's stat shard for the owning kernel. */
+        KernelShard *shard = nullptr;
         /** Liveness token: completion callbacks captured before an abort
          *  must not touch a reused slot. */
         std::shared_ptr<bool> token;
+    };
+
+    /**
+     * One buffered shared-state effect from the issue phase, replayed
+     * by drain_pending(). The wg/warp pointers stay valid across the
+     * issue→drain window: slots are only recycled by dispatch (a
+     * pre-phase) and detach (after the drain).
+     */
+    struct Pending
+    {
+        enum class Kind : std::uint8_t {
+            Mem,    //!< hierarchy traffic + functional apply (+ abort)
+            Malloc, //!< deferred device-heap allocation (driver state)
+            Finish, //!< workgroup completion (kernel progress counters)
+        };
+        Kind kind = Kind::Mem;
+        WorkgroupCtx *wg = nullptr;
+        WarpState *warp = nullptr;
+
+        // Kind::Mem payload.
+        MemOp op;
+        std::vector<VAddr> lines;      //!< full coalesce set (LSU timing)
+        std::vector<VAddr> live_lines; //!< surviving lanes' recoalesce
+        bool partial = false;          //!< live_lines valid
+        LaneMask suppress_mask = 0;
+        bool fully_suppressed = false;
+        bool refill = false;           //!< RBT refill to issue first
+        PAddr refill_paddr = 0;
+        bool abort_now = false;        //!< precise-exception abort
     };
 
     bool try_dispatch();
@@ -161,7 +271,23 @@ class Core
     void finish_warp(WorkgroupCtx &wg);
     void release_barrier(WorkgroupCtx &wg);
     void abort_kernel(KernelExec *kernel);
+    /** Replays one memory effect — either a buffered Pending's fields
+     *  or, on the serial inline path, the live issue-time locals (so
+     *  that path builds no Pending at all). @p live_lines is null
+     *  unless the warp was partially squashed. Returns false when the
+     *  replay aborted the kernel (precise exception or translation
+     *  fault) — the caller must then leave the warp and LSU timing
+     *  untouched. */
+    bool drain_mem_impl(WorkgroupCtx &wg, WarpState &warp,
+                        const MemOp &op,
+                        const std::vector<VAddr> &lines,
+                        const std::vector<VAddr> *live_lines,
+                        bool fully_suppressed, LaneMask suppress_mask,
+                        bool refill, PAddr refill_paddr, bool abort_now);
+    void drain_malloc(Pending &p);
+    void drain_finish(WorkgroupCtx &wg);
     unsigned live_warps(const WorkgroupCtx &wg) const;
+    KernelShard *shard_for(KernelExec *kernel);
 
     CoreId id_;
     const GpuConfig &cfg_;
@@ -170,7 +296,19 @@ class Core
     BoundsCheckUnit bcu_;
 
     std::vector<KernelExec *> resident_;
+    std::vector<std::unique_ptr<KernelShard>> shards_;
     std::size_t dispatch_rr_ = 0; //!< round-robin among resident kernels
+
+    /**
+     * False when the last dispatch attempt failed and nothing has
+     * happened since that could make one succeed. A failed attempt can
+     * only turn dispatchable through attach_kernel (new work) or a
+     * freed slot / warp budget (drain_finish, detach_kernel) — each of
+     * those sets this back to true, so try_dispatch/can_dispatch can
+     * skip their kernel scan on the (vast majority of) cycles where
+     * the answer is a foregone no.
+     */
+    bool dispatch_possible_ = true;
 
     std::vector<WorkgroupCtx> slots_;
     unsigned live_workgroups_ = 0;
@@ -199,9 +337,19 @@ class Core
     StatSet::Counter c_issued_, c_workgroups_started_,
         c_workgroups_finished_;
 
+    /** Effects buffered by the issue phase, FIFO. */
+    std::vector<Pending> pending_;
+
+    /** Serial engine (drain_each): handle_mem replays memory effects
+     *  inline instead of buffering them — no MemOp copy, no pending
+     *  churn, and no would_fault probe (the replay discovers faults
+     *  itself). Set by issue_phase from its drain_each argument. */
+    bool drain_inline_ = false;
+
     /** Reusable coalesce outputs so handle_mem allocates nothing in
      *  steady state (one for the full warp, one for the re-coalesce of
-     *  surviving lanes after a partial squash). */
+     *  surviving lanes after a partial squash); drain_mem hands the
+     *  buffers back after replaying a pending op. */
     std::vector<VAddr> lines_scratch_;
     std::vector<VAddr> live_lines_scratch_;
 };

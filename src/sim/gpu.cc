@@ -1,6 +1,9 @@
 #include "sim/gpu.h"
 
+#include <algorithm>
+
 #include "common/log.h"
+#include "obs/engine_profile.h"
 #include "obs/profiler.h"
 
 namespace gpushield {
@@ -73,20 +76,160 @@ Gpu::all_done() const
     return true;
 }
 
+unsigned
+Gpu::effective_threads() const
+{
+    // Observers and the stall profiler consume exactly-ordered event
+    // streams; the serial engine is the one that preserves them.
+    if (profiler_ != nullptr || lane_obs_ != nullptr || observer_attached_)
+        return 1;
+    const unsigned want = std::max(1u, cfg_.sim_threads);
+    return std::min(want, static_cast<unsigned>(cores_.size()));
+}
+
+bool
+Gpu::run_cores_serial()
+{
+    // Bit-exact classic engine: per core, dispatch + issue with the
+    // effect drain applied after every instruction.
+    bool progress = false;
+    for (auto &core : cores_)
+        progress |= core->tick();
+    return progress;
+}
+
+bool
+Gpu::run_cores_parallel(unsigned threads)
+{
+    bool progress = false;
+
+    // Phase 1 (serial): workgroup dispatch mutates shared kernel state
+    // (next_wg), so it runs in core-ID order.
+    {
+        obs::EnginePhaseTimer t(engine_prof_,
+                           obs::HostEngineProfiler::Phase::Dispatch);
+        for (auto &core : cores_)
+            progress |= core->dispatch_tick();
+    }
+
+    // Phase 2 (parallel): cores issue concurrently, buffering every
+    // shared-state effect. Contiguous shards keep each worker on a
+    // cache-friendly slice. Progress flags are per-core slots: each
+    // worker writes only its own slice, read back after the barrier.
+    const std::size_t n = cores_.size();
+    const std::size_t per = (n + threads - 1) / threads;
+    core_progress_.assign(n, 0);
+    {
+        obs::EnginePhaseTimer t(engine_prof_,
+                           obs::HostEngineProfiler::Phase::Issue);
+        for (unsigned w = 0; w < threads; ++w) {
+            const std::size_t lo = static_cast<std::size_t>(w) * per;
+            const std::size_t hi = std::min(n, lo + per);
+            if (lo >= hi)
+                break;
+            pool_->submit([this, lo, hi] {
+                for (std::size_t c = lo; c < hi; ++c)
+                    core_progress_[c] =
+                        cores_[c]->issue_phase(/*drain_each=*/false);
+            });
+        }
+    }
+    {
+        obs::EnginePhaseTimer t(engine_prof_,
+                           obs::HostEngineProfiler::Phase::BarrierWait);
+        pool_->wait_idle();
+    }
+
+    // Phase 3 (serial): replay buffered traffic in core-ID order —
+    // the exact global effect order of the serial engine, so caches,
+    // DRAM queues and event sequence numbers match byte-for-byte.
+    {
+        obs::EnginePhaseTimer t(engine_prof_,
+                           obs::HostEngineProfiler::Phase::Drain);
+        for (auto &core : cores_)
+            core->drain_pending();
+    }
+
+    for (std::size_t c = 0; c < n; ++c)
+        progress |= core_progress_[c] != 0;
+    return progress;
+}
+
+void
+Gpu::detach_completed()
+{
+    // Detach kernels that just completed/aborted so RCaches flush at
+    // kernel termination (§5.5).
+    for (Launched &l : launched_) {
+        if (l.exec->done && !l.detached) {
+            for (auto &core : cores_)
+                if ((l.exec->core_mask >> core->id()) & 1)
+                    core->detach_kernel(l.exec.get());
+            l.detached = true;
+            if (profiler_ != nullptr)
+                profiler_->on_kernel_span(
+                    l.state->kernel_id, l.state->program.name,
+                    l.exec->start_cycle, l.exec->end_cycle,
+                    l.exec->aborted, l.state->tenant);
+        }
+    }
+}
+
+void
+Gpu::advance_clock(Cycle deadline)
+{
+    // Exact jump target: the earliest cycle at which anything can
+    // happen. Cores publish their next dispatch/issue opportunity
+    // (dispatch eligibility only changes at engine-visible points, and
+    // blocked warps wake only through events), and the event queue
+    // knows its next due cycle — so every cycle strictly before the
+    // target is provably a no-op and can be skipped unsimulated.
+    Cycle target = eq_.next_event_cycle();
+    for (auto &core : cores_)
+        target = std::min(target, core->next_work_cycle(eq_.now()));
+
+    if (target == kCycleMax) {
+        if (all_done())
+            return;
+        throw SimulationError(
+            "Gpu::run: no core has schedulable work and the event "
+            "queue is empty (simulation deadlock)");
+    }
+    target = std::min(target, deadline);
+    if (target > eq_.now()) {
+        cycles_skipped_ += target - eq_.now();
+        eq_.run_until(target);
+    }
+}
+
 void
 Gpu::run()
 {
     const Cycle deadline = eq_.now() + cfg_.max_cycles;
-    std::uint64_t idle_streak = 0;
+    const unsigned threads = effective_threads();
+    // The stall profiler's warp-cycle attribution invariant (counted
+    // warp-cycles == residency) requires visiting every cycle.
+    const bool per_cycle = profiler_ != nullptr;
+    const std::uint64_t skipped_before = cycles_skipped_;
+    std::uint64_t ticked = 0;
+
+    if (threads > 1 && pool_ == nullptr)
+        pool_ = std::make_unique<ThreadPool>(threads);
 
     while (!all_done()) {
         if (eq_.now() >= deadline)
             throw SimulationError(
                 "Gpu::run: cycle budget exhausted (possible livelock)");
 
-        bool any = false;
-        for (auto &core : cores_)
-            any |= core->tick();
+        bool progress;
+        if (threads <= 1) {
+            obs::EnginePhaseTimer t(engine_prof_,
+                               obs::HostEngineProfiler::Phase::Issue);
+            progress = run_cores_serial();
+        } else {
+            progress = run_cores_parallel(threads);
+        }
+        ++ticked;
 
         // Attribute this cycle before the queue advances so workgroup
         // residency and counted warp-cycles agree exactly.
@@ -96,34 +239,37 @@ Gpu::run()
             profiler_->end_cycle(eq_.now(), hier_.dram().total_queued());
         }
 
-        eq_.step();
-
-        // Detach kernels that just completed/aborted so RCaches flush at
-        // kernel termination (§5.5).
-        for (Launched &l : launched_) {
-            if (l.exec->done && !l.detached) {
-                for (auto &core : cores_)
-                    if ((l.exec->core_mask >> core->id()) & 1)
-                        core->detach_kernel(l.exec.get());
-                l.detached = true;
-                any = true;
-                if (profiler_ != nullptr)
-                    profiler_->on_kernel_span(
-                        l.state->kernel_id, l.state->program.name,
-                        l.exec->start_cycle, l.exec->end_cycle,
-                        l.exec->aborted, l.state->tenant);
-            }
+        {
+            obs::EnginePhaseTimer t(engine_prof_,
+                               obs::HostEngineProfiler::Phase::Events);
+            eq_.step();
         }
 
-        if (!any && eq_.empty()) {
-            if (++idle_streak > 8)
-                throw SimulationError(
-                    "Gpu::run: no progress with empty event queue "
-                    "(simulation deadlock)");
-        } else {
-            idle_streak = 0;
+        {
+            obs::EnginePhaseTimer t(engine_prof_,
+                               obs::HostEngineProfiler::Phase::Detach);
+            detach_completed();
+        }
+
+        // Jump only on an idle cycle (no core dispatched or issued):
+        // a busy cycle almost always has work next cycle too, and
+        // skipping the per-core next_work_cycle scan on busy cycles is
+        // what keeps the engine cheaper than per-cycle ticking — the
+        // first idle cycle of a stretch pays for one scan, then the
+        // whole stretch is jumped. And only while kernels remain: the
+        // per-cycle engine exits the moment all_done() holds, leaving
+        // any still-scheduled events (trailing writebacks, stale
+        // wakeups) unrun — jumping here would run them and diverge the
+        // hierarchy stats.
+        if (!per_cycle && !progress && !all_done()) {
+            obs::EnginePhaseTimer t(engine_prof_,
+                               obs::HostEngineProfiler::Phase::Events);
+            advance_clock(deadline);
         }
     }
+
+    if (engine_prof_ != nullptr)
+        engine_prof_->note_cycles(ticked, cycles_skipped_ - skipped_before);
 }
 
 KernelResult

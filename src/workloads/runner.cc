@@ -34,13 +34,16 @@ RunOutcome
 run_workload(const GpuConfig &cfg, Driver &driver,
              const WorkloadInstance &instance, bool shield, bool use_static,
              Cycle extra_cycles_per_mem, unsigned extra_transactions,
-             obs::Profiler *profiler, LaneObserver *lane_obs)
+             obs::Profiler *profiler, LaneObserver *lane_obs,
+             obs::HostEngineProfiler *engine_prof)
 {
     Gpu gpu(cfg, driver);
     if (profiler != nullptr)
         gpu.set_profiler(profiler);
     if (lane_obs != nullptr)
         gpu.set_lane_observer(lane_obs);
+    if (engine_prof != nullptr)
+        gpu.set_engine_profiler(engine_prof);
     LaunchState state = driver.launch(instance.make_config(shield, use_static));
     const std::size_t idx =
         gpu.launch(std::move(state), ~std::uint64_t{0},
@@ -54,6 +57,7 @@ run_workload(const GpuConfig &cfg, Driver &driver,
     out.bcu = gpu.bcu_stats();
     out.mem = collect_mem_stats(gpu);
     out.l1_rcache_hit_rate = gpu.rcache_l1_hit_rate();
+    out.cycles_skipped = gpu.cycles_skipped();
     return out;
 }
 
@@ -61,11 +65,14 @@ MultiLaunchOutcome
 run_workload_n(const GpuConfig &cfg, Driver &driver,
                const WorkloadInstance &instance, unsigned launches,
                bool shield, bool use_static, Cycle extra_cycles_per_mem,
-               unsigned extra_transactions, obs::Profiler *profiler)
+               unsigned extra_transactions, obs::Profiler *profiler,
+               obs::HostEngineProfiler *engine_prof)
 {
     Gpu gpu(cfg, driver);
     if (profiler != nullptr)
         gpu.set_profiler(profiler);
+    if (engine_prof != nullptr)
+        gpu.set_engine_profiler(engine_prof);
     MultiLaunchOutcome out;
     for (unsigned i = 0; i < launches; ++i) {
         LaunchState state =
@@ -83,6 +90,7 @@ run_workload_n(const GpuConfig &cfg, Driver &driver,
     out.rcache = gpu.rcache_stats();
     out.bcu = gpu.bcu_stats();
     out.mem = collect_mem_stats(gpu);
+    out.cycles_skipped = gpu.cycles_skipped();
     return out;
 }
 

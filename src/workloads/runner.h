@@ -24,6 +24,8 @@ struct RunOutcome
     StatSet bcu;          //!< aggregated BCU stats
     StatSet mem;          //!< hierarchy stats (see collect_mem_stats)
     double l1_rcache_hit_rate = 0.0;
+    /** Idle cycles the event-driven engine jumped over (Gpu::cycles_skipped). */
+    std::uint64_t cycles_skipped = 0;
 };
 
 /**
@@ -36,14 +38,17 @@ StatSet collect_mem_stats(Gpu &gpu);
 /** Runs @p instance once on a freshly constructed GPU. When
  *  @p profiler is non-null it observes the run (obs/profiler.h); when
  *  @p lane_obs is non-null it is attached before the launch so it sees
- *  every step and bounds verdict (sim/observer.h). */
+ *  every step and bounds verdict (sim/observer.h). When @p engine_prof
+ *  is non-null it records host wall-time per engine phase
+ *  (obs/engine_profile.h) without changing simulated results. */
 RunOutcome run_workload(const GpuConfig &cfg, Driver &driver,
                         const WorkloadInstance &instance, bool shield,
                         bool use_static,
                         Cycle extra_cycles_per_mem = 0,
                         unsigned extra_transactions = 0,
                         obs::Profiler *profiler = nullptr,
-                        LaneObserver *lane_obs = nullptr);
+                        LaneObserver *lane_obs = nullptr,
+                        obs::HostEngineProfiler *engine_prof = nullptr);
 
 /**
  * Runs @p instance @p launches times back-to-back on one GPU (RCaches
@@ -58,6 +63,8 @@ struct MultiLaunchOutcome
     StatSet mem;          //!< hierarchy stats (see collect_mem_stats)
     std::uint64_t violations = 0;
     bool aborted = false; //!< any launch aborted (precise exceptions)
+    /** Idle cycles the event-driven engine jumped over, all launches. */
+    std::uint64_t cycles_skipped = 0;
 };
 
 MultiLaunchOutcome run_workload_n(const GpuConfig &cfg, Driver &driver,
@@ -66,7 +73,9 @@ MultiLaunchOutcome run_workload_n(const GpuConfig &cfg, Driver &driver,
                                   bool use_static,
                                   Cycle extra_cycles_per_mem = 0,
                                   unsigned extra_transactions = 0,
-                                  obs::Profiler *profiler = nullptr);
+                                  obs::Profiler *profiler = nullptr,
+                                  obs::HostEngineProfiler *engine_prof =
+                                      nullptr);
 
 } // namespace gpushield::workloads
 

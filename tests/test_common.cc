@@ -283,5 +283,39 @@ TEST(EventQueue, NextEventCycle)
     EXPECT_EQ(eq.next_event_cycle(), 42u);
 }
 
+TEST(EventQueue, SameCycleScheduleDuringDispatchRunsInSeqOrder)
+{
+    // Scheduling at now() from inside a callback dispatching at now()
+    // is legal (it used to panic as a boundary violation): the new
+    // event runs in the same cycle, after everything already queued
+    // there, with sequence numbers breaking the tie.
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(5, [&] {
+        order.push_back(1);
+        eq.schedule(5, [&] { order.push_back(3); }); // at now(), mid-dispatch
+    });
+    eq.schedule(5, [&] { order.push_back(2); });
+    eq.run_until(5);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 5u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, PastScheduleClampsToNow)
+{
+    // Under the event-driven engine the clock can jump past a stale
+    // busy-cursor; latency arithmetic may then ask for a cycle that
+    // already passed. The earliest legal service time is now().
+    EventQueue eq;
+    eq.run_until(100);
+    int fired_at = -1;
+    eq.schedule(40, [&] { fired_at = static_cast<int>(eq.now()); });
+    EXPECT_EQ(eq.next_event_cycle(), 100u);
+    eq.step();
+    EXPECT_EQ(fired_at, 100);
+    EXPECT_EQ(eq.now(), 101u);
+}
+
 } // namespace
 } // namespace gpushield

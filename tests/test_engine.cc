@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Event-driven / parallel-SM engine tests.
+ *
+ * The engine rebuild (sim/gpu.cc) makes two promises this file pins
+ * down: (1) clock jumps and parallel-SM issue are *invisible* — every
+ * simulated result is byte-identical to the classic serial per-cycle
+ * engine — and (2) the jumps actually happen (long DRAM stalls are
+ * fast-forwarded, not scanned). Coverage:
+ *
+ *   - golden smoke grid byte-identical at sim_threads ∈ {1, 2, 4}
+ *     against tests/golden/smoke.jsonl
+ *   - direct serial-vs-parallel outcome equality on one workload
+ *   - DRAM-stall fast-forward regression: an engine with jumps skips
+ *     cycles but matches the per-cycle engine (profiler-attached
+ *     A/B) on every simulated stat
+ *   - conformance-oracle spot check with sim_threads = 4 (zero false
+ *     negatives)
+ *   - host-side engine profiler observes without changing results
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "conform/runner.h"
+#include "harness/executor.h"
+#include "harness/suites.h"
+#include "obs/engine_profile.h"
+#include "obs/profiler.h"
+#include "workloads/runner.h"
+#include "workloads/suites.h"
+
+namespace gpushield {
+namespace {
+
+std::string
+read_file(const std::string &path)
+{
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+const workloads::BenchmarkDef &
+cuda_benchmark(const std::string &name)
+{
+    for (const workloads::BenchmarkDef &d : workloads::cuda_benchmarks())
+        if (d.name == name)
+            return d;
+    throw std::runtime_error("no cuda benchmark " + name);
+}
+
+TEST(Engine, GoldenSmokeByteIdenticalAcrossSimThreads)
+{
+    const std::string golden = read_file(
+        std::string(GPUSHIELD_SOURCE_DIR) + "/tests/golden/smoke.jsonl");
+    ASSERT_FALSE(golden.empty()) << "missing tests/golden/smoke.jsonl";
+
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        harness::SweepSpec spec = harness::smoke_suite();
+        for (auto &[cfg_name, cfg] : spec.configs)
+            cfg.sim_threads = threads;
+
+        harness::SweepOptions opts;
+        opts.jobs = 1;
+        const harness::SweepResult result = harness::run_sweep(spec, opts);
+        EXPECT_TRUE(result.all_ok()) << "sim_threads=" << threads;
+
+        std::ostringstream os;
+        result.metrics.write_jsonl(os);
+        EXPECT_EQ(os.str(), golden)
+            << "smoke records diverged from golden at sim_threads="
+            << threads;
+    }
+}
+
+TEST(Engine, ParallelSmsMatchSerialOutcome)
+{
+    const workloads::BenchmarkDef &def = cuda_benchmark("vectoradd");
+
+    const auto run = [&](unsigned threads) {
+        GpuConfig cfg = nvidia_config();
+        cfg.sim_threads = threads;
+        GpuDevice dev(cfg.mem.page_size);
+        Driver driver(dev, 0x5EEDull);
+        const workloads::WorkloadInstance inst = def.make(driver);
+        return workloads::run_workload(cfg, driver, inst, /*shield=*/true,
+                                       /*use_static=*/false);
+    };
+
+    const workloads::RunOutcome serial = run(1);
+    for (const unsigned threads : {2u, 4u}) {
+        const workloads::RunOutcome par = run(threads);
+        EXPECT_EQ(par.result.cycles(), serial.result.cycles());
+        EXPECT_EQ(par.result.aborted, serial.result.aborted);
+        EXPECT_EQ(par.result.violations.size(),
+                  serial.result.violations.size());
+        EXPECT_TRUE(par.result.stats == serial.result.stats);
+        EXPECT_TRUE(par.rcache == serial.rcache);
+        EXPECT_TRUE(par.bcu == serial.bcu);
+        EXPECT_TRUE(par.mem == serial.mem);
+    }
+}
+
+TEST(Engine, DramStallFastForwardMatchesPerCycleEngine)
+{
+    // Crank DRAM into the multi-thousand-cycle range: under the old
+    // per-cycle engine every one of those stall cycles was scanned;
+    // the event-driven engine must jump them (cycles_skipped > 0)
+    // without perturbing a single simulated stat. The per-cycle
+    // reference comes from attaching the stall profiler, which forces
+    // the classic visit-every-cycle engine but observes only.
+    GpuConfig cfg = nvidia_config();
+    cfg.num_cores = 2;
+    cfg.mem.dram.row_hit_latency = 20000;
+    cfg.mem.dram.row_miss_latency = 30000;
+
+    const workloads::BenchmarkDef &def = cuda_benchmark("vectoradd");
+    const auto run = [&](bool per_cycle) {
+        GpuDevice dev(cfg.mem.page_size);
+        Driver driver(dev, 0xD12A3ull);
+        const workloads::WorkloadInstance inst = def.make(driver);
+        obs::Profiler prof;
+        return workloads::run_workload(cfg, driver, inst, /*shield=*/true,
+                                       /*use_static=*/false, 0, 0,
+                                       per_cycle ? &prof : nullptr);
+    };
+
+    const workloads::RunOutcome jumped = run(/*per_cycle=*/false);
+    const workloads::RunOutcome scanned = run(/*per_cycle=*/true);
+
+    EXPECT_GT(jumped.cycles_skipped, 0u)
+        << "long DRAM stalls were scanned cycle-by-cycle, not jumped";
+    EXPECT_EQ(scanned.cycles_skipped, 0u)
+        << "profiler-attached engine must visit every cycle";
+
+    EXPECT_EQ(jumped.result.cycles(), scanned.result.cycles());
+    EXPECT_EQ(jumped.result.aborted, scanned.result.aborted);
+    EXPECT_EQ(jumped.result.violations.size(),
+              scanned.result.violations.size());
+    EXPECT_TRUE(jumped.result.stats == scanned.result.stats);
+    EXPECT_TRUE(jumped.rcache == scanned.rcache);
+    EXPECT_TRUE(jumped.bcu == scanned.bcu);
+    EXPECT_TRUE(jumped.mem == scanned.mem);
+}
+
+TEST(Engine, ConformanceSpotCheckUnderParallelSms)
+{
+    // One corpus cell with the parallel-SM engine requested: the legs
+    // that attach the per-lane oracle force themselves serial (exact
+    // hook order), the unobserved legs run parallel — either way the
+    // differential verdict must be unchanged: zero false negatives.
+    conform::ConformCell cell =
+        conform::corpus_cell(workloads::cuda_benchmarks().front());
+    cell.cfg.sim_threads = 4;
+
+    const conform::ConformCellResult res = conform::run_conformance_cell(cell);
+    EXPECT_TRUE(res.ok)
+        << (res.failures.empty() ? res.oracle_report : res.failures.front());
+    EXPECT_GT(res.conform.get("checks"), 0u);
+    EXPECT_EQ(res.conform.get("fn_checks"), 0u);
+    EXPECT_EQ(res.conform.get("fn_lanes"), 0u);
+}
+
+TEST(Engine, HostProfilerObservesWithoutChangingResults)
+{
+    const workloads::BenchmarkDef &def = cuda_benchmark("vectoradd");
+    const auto run = [&](obs::HostEngineProfiler *prof) {
+        GpuConfig cfg = nvidia_config();
+        GpuDevice dev(cfg.mem.page_size);
+        Driver driver(dev, 0xABCDull);
+        const workloads::WorkloadInstance inst = def.make(driver);
+        return workloads::run_workload(cfg, driver, inst, /*shield=*/true,
+                                       /*use_static=*/false, 0, 0, nullptr,
+                                       nullptr, prof);
+    };
+
+    obs::HostEngineProfiler prof;
+    const workloads::RunOutcome observed = run(&prof);
+    const workloads::RunOutcome plain = run(nullptr);
+
+    EXPECT_EQ(observed.result.cycles(), plain.result.cycles());
+    EXPECT_TRUE(observed.result.stats == plain.result.stats);
+    EXPECT_EQ(observed.cycles_skipped, plain.cycles_skipped);
+
+    EXPECT_GT(prof.cycles_simulated(), 0u);
+    EXPECT_EQ(prof.cycles_skipped(), observed.cycles_skipped);
+    EXPECT_GT(prof.ns(obs::HostEngineProfiler::Phase::Issue) +
+                  prof.ns(obs::HostEngineProfiler::Phase::Events),
+              0u);
+    const std::string json = prof.json();
+    EXPECT_NE(json.find("\"issue_ns\":"), std::string::npos);
+    EXPECT_NE(json.find("\"cycles_simulated\":"), std::string::npos);
+    EXPECT_FALSE(prof.report().empty());
+}
+
+} // namespace
+} // namespace gpushield

@@ -19,7 +19,7 @@
 #include "harness/metrics.h"
 #include "harness/suites.h"
 #include "harness/sweep.h"
-#include "harness/thread_pool.h"
+#include "common/thread_pool.h"
 
 namespace gpushield::harness {
 namespace {
