@@ -117,11 +117,11 @@ print_table5()
                         cfg.mem.dram.row_bytes));
         std::printf("  RCache                L1 %u-entry/%llu-cyc, "
                     "L2 %u-entry/%llu-cyc\n",
-                    cfg.rcache.l1_entries,
-                    static_cast<unsigned long long>(cfg.rcache.l1_latency),
-                    cfg.rcache.l2_entries,
+                    cfg.shield.region.l1_entries,
+                    static_cast<unsigned long long>(cfg.shield.region.l1_latency),
+                    cfg.shield.region.l2_entries,
                     static_cast<unsigned long long>(
-                        cfg.rcache.l2_latency));
+                        cfg.shield.region.l2_latency));
     }
 }
 

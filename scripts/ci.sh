@@ -35,12 +35,24 @@ cmp build/smoke-serial.jsonl tests/golden/smoke.jsonl
     --quiet --jsonl build/smoke-t2.jsonl > /dev/null
 cmp build/smoke-t2.jsonl tests/golden/smoke.jsonl
 
+# Backend gate: the pluggable shield seam. Region routed explicitly
+# through --shield-backend must still match the committed golden
+# byte-for-byte; the Armor backend must run the smoke grid end-to-end
+# and hold the corpus with zero hard false negatives (tag collisions
+# and granule slop are counted separately by the oracle).
+./build/src/gpushield-sweep --suite smoke --jobs 1 --quiet \
+    --shield-backend region --jsonl build/smoke-region.jsonl > /dev/null
+cmp build/smoke-region.jsonl tests/golden/smoke.jsonl
+./build/src/gpushield-sweep --suite smoke --jobs 1 --quiet \
+    --shield-backend armor --jsonl build/smoke-armor.jsonl > /dev/null
+
 # Conformance smoke: every corpus workload differentially checked
 # against the functional oracle and the per-lane bounds oracle (zero
 # false negatives, zero image divergences), plus a short fuzz round
 # with planted out-of-bounds accesses. See docs/CONFORMANCE.md.
 ./build/src/gpushield-conformance --suite corpus --quiet
 ./build/src/gpushield-conformance --seeds 20 --quiet
+./build/src/gpushield-conformance --suite corpus --backend armor --quiet
 
 # Profile smoke: trace every single-kernel smoke cell, re-parse each
 # trace, and verify the stall-attribution invariant (--check).
@@ -53,6 +65,8 @@ cmp build/smoke-t2.jsonl tests/golden/smoke.jsonl
 # See docs/SERVICE.md.
 ./build/src/gpushield-service --attacks --quiet
 ./build/src/gpushield-service --attacks --mode cosched --quiet
+# Zero-escape gate holds on the Armor backend too.
+./build/src/gpushield-service --attacks --backend armor --quiet
 ./build/src/gpushield-service --fairness --quick --quiet \
     --json build/service-fairness-smoke.json
 
@@ -90,12 +104,16 @@ fi
 if [[ "${1:-}" == "--asan" ]]; then
     cmake --preset asan
     cmake --build build-asan -j"$JOBS" \
-        --target test_conform test_service gpushield-conformance \
-        gpushield-service
+        --target test_conform test_service test_backend \
+        gpushield-conformance gpushield-service
     ./build-asan/tests/test_conform
     ./build-asan/tests/test_service
+    ./build-asan/tests/test_backend
     ./build-asan/src/gpushield-conformance --seeds 10 --quiet
+    ./build-asan/src/gpushield-conformance --seeds 10 --backend armor \
+        --quiet
     ./build-asan/src/gpushield-service --attacks --quiet
+    ./build-asan/src/gpushield-service --attacks --backend armor --quiet
 fi
 
 echo "ci: OK"

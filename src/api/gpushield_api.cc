@@ -22,6 +22,7 @@ Context::Context(const GpuConfig &config, std::uint64_t seed,
     : config_(config), device_(config.mem.page_size),
       driver_(device_, seed, id_space)
 {
+    driver_.set_shield_backend(config.shield.backend);
 }
 
 Buffer

@@ -38,6 +38,9 @@ usage(const char *argv0)
         "  --nbufs N        fuzz buffer count        (--fuzz-one)\n"
         "  --ntid N         workgroup size           (--fuzz-one)\n"
         "  --nctaid N       workgroup count          (--fuzz-one)\n"
+        "  --backend NAME   shield backend under test: region (default)\n"
+        "                   or armor (collisions/granule slop counted\n"
+        "                   as documented weakness, never as FN)\n"
         "  --fp-table       print the warp-level false-positive table\n"
         "  --no-minimize    do not shrink failing fuzz cells\n"
         "  --quiet          suppress per-cell progress\n",
@@ -47,10 +50,12 @@ usage(const char *argv0)
 
 /** Greedily halves every knob while the cell keeps failing. */
 FuzzKnobs
-minimize(FuzzKnobs k)
+minimize(FuzzKnobs k, ShieldBackendKind backend)
 {
-    const auto still_fails = [](const FuzzKnobs &t) {
-        return !run_conformance_cell(fuzz_cell(t)).ok;
+    const auto still_fails = [backend](const FuzzKnobs &t) {
+        ConformCell c = fuzz_cell(t);
+        c.cfg.shield.backend = backend;
+        return !run_conformance_cell(c).ok;
     };
     bool shrunk = true;
     while (shrunk) {
@@ -126,6 +131,7 @@ main(int argc, char **argv)
     bool quiet = false;
     unsigned long seeds = 0;
     FuzzKnobs one;
+    ShieldBackendKind backend = ShieldBackendKind::Region;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -166,6 +172,14 @@ main(int argc, char **argv)
         } else if (arg == "--nctaid") {
             one.nctaid = static_cast<std::uint32_t>(
                 std::strtoul(value(), nullptr, 10));
+        } else if (arg == "--backend") {
+            const char *name = value();
+            if (!parse_shield_backend(name, backend)) {
+                std::fprintf(stderr,
+                             "gpushield-conformance: unknown shield "
+                             "backend %s (region|armor)\n", name);
+                return 2;
+            }
         } else if (arg == "--fp-table") {
             fp_table = true;
         } else if (arg == "--no-minimize") {
@@ -209,6 +223,8 @@ main(int argc, char **argv)
         const FuzzKnobs k = resolve_knobs(one);
         plan.push_back({fuzz_cell(k), true, k, "fuzz-one"});
     }
+    for (Planned &p : plan)
+        p.cell.cfg.shield.backend = backend;
 
     ConformSuiteResult suite;
     std::vector<TableRow> rows;
@@ -245,7 +261,7 @@ main(int argc, char **argv)
 
         if (!res.ok && p.is_fuzz && !no_minimize) {
             std::fprintf(stderr, "    minimizing...\n");
-            const FuzzKnobs small = minimize(p.knobs);
+            const FuzzKnobs small = minimize(p.knobs, backend);
             std::fprintf(stderr, "    minimal repro: %s\n",
                          small.repro().c_str());
         }

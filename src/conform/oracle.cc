@@ -1,6 +1,8 @@
 #include "conform/oracle.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 #include <sstream>
 
 #include "common/log.h"
@@ -44,17 +46,29 @@ LaneOracle::on_launch(const LaunchState &state)
     ki.num_regs = state.program.num_regs;
     ki.arg_region.assign(state.program.args.size(), kUnknown);
     ki.local_region.assign(state.program.locals.size(), kUnknown);
+    ki.backend = state.shield_backend;
+    ki.shield_regions = state.shield_regions;
+    const bool armor = state.shield_backend == ShieldBackendKind::Armor;
 
-    const auto cover_from_rbt = [&](RegionInfo &r, BaseRef ref) {
+    // Armor rounds every metadata extent up to the granule, so lanes in
+    // the rounding slop are design-covered there — the Armor analogue
+    // of Type 3 power-of-two padding. Returns the raw RBT entry so
+    // callers can still see the exact extent.
+    const auto cover_from_rbt = [&](RegionInfo &r, BaseRef ref) -> Bounds {
+        Bounds b{};
         const auto it = state.id_map.find(ref);
         if (it == state.id_map.end())
-            return;
-        const Bounds b = state.rbt->get(it->second);
+            return b;
+        b = state.rbt->get(it->second);
         if (!b.valid)
-            return;
+            return b;
         r.cover_base = b.base_addr;
-        r.cover_end = b.base_addr + b.size;
+        r.cover_end =
+            b.base_addr +
+            (armor ? align_up(b.size, std::uint64_t{kArmorGranule})
+                   : b.size);
         r.has_cover = true;
+        return b;
     };
 
     std::size_t ptr_order = 0;
@@ -101,9 +115,10 @@ LaneOracle::on_launch(const LaunchState &state)
         // The oracle's truth for a local is its whole allocation: the
         // simulator does not model per-thread local isolation, so the
         // RBT entry *is* the exact extent.
-        cover_from_rbt(r, BaseRef{BaseKind::Local, static_cast<int>(l)});
-        r.true_base = r.cover_base;
-        r.true_end = r.cover_end;
+        const Bounds b =
+            cover_from_rbt(r, BaseRef{BaseKind::Local, static_cast<int>(l)});
+        r.true_base = b.base_addr;
+        r.true_end = b.base_addr + b.size;
         if (r.cls == PtrClass::SizedWindow) {
             const VAddr base = ptr_addr(state.local_bases[l]);
             r.cover_base = base;
@@ -451,21 +466,58 @@ LaneOracle::on_mem_check(const MemCheckEvent &ev)
         return;
     }
 
-    // A truth-violating lane with no flag. The Method B dereference of
-    // a Type 3 pointer is checked only for window-boundary crossings —
-    // a *documented* weakness of the sized-window format, not a shield
-    // bug — so it is accounted separately from hard false negatives.
-    if (ev.checked && !op.has_bt && !op.has_base_offset &&
-        ptr_class(op.pointer) == PtrClass::SizedWindow) {
-        ++counters_.type3_weak_checks;
-        counters_.type3_weak_lanes += hard_count;
-        return;
+    // A truth-violating lane with no flag: before declaring a hard
+    // false negative, ask the hardware point that ran the check whether
+    // the miss falls into one of its *documented* weakness classes.
+    // Region: the Method B dereference of a Type 3 pointer is checked
+    // only for window-boundary crossings ("type3_weak"). Armor: a
+    // same-kernel region sharing the pointer's masked plaintext tag can
+    // absorb the access ("tag_collision"). Both are properties of the
+    // check's design, not shield bugs, so they are accounted separately.
+    if (ev.checked) {
+        VAddr lo = ~VAddr{0};
+        VAddr hi = 0;
+        for (unsigned lane = 0; lane < kWarpSize; ++lane) {
+            if (((hard_oob >> lane) & 1) == 0)
+                continue;
+            lo = std::min(lo, op.lane_addr[lane]);
+            hi = std::max(hi, op.lane_addr[lane] + op.size);
+        }
+        ShieldMissContext ctx;
+        ctx.pointer = op.pointer;
+        ctx.has_bt = op.has_bt;
+        ctx.has_base_offset = op.has_base_offset;
+        ctx.kernel = ev.kernel;
+        ctx.min_addr = lo;
+        ctx.max_end = hi;
+        ctx.regions = &ki.shield_regions;
+        const char *label = classifier(ki.backend).weakness_label(ctx);
+        if (label != nullptr) {
+            if (std::strcmp(label, "tag_collision") == 0) {
+                ++counters_.armor_collision_checks;
+                counters_.armor_collision_lanes += hard_count;
+            } else {
+                ++counters_.type3_weak_checks;
+                counters_.type3_weak_lanes += hard_count;
+            }
+            return;
+        }
     }
 
     ++counters_.fn_checks;
     counters_.fn_lanes += hard_count;
     note(Finding::Kind::FalseNegative, ev, first_oob_addr,
          oob_region_name);
+}
+
+ShieldBackend &
+LaneOracle::classifier(ShieldBackendKind kind)
+{
+    auto &slot = classifiers_[static_cast<std::size_t>(kind)];
+    if (slot == nullptr)
+        slot = make_shield_backend(kind, ShieldConfig{},
+                                   /*pipeline_slack=*/0);
+    return *slot;
 }
 
 bool
@@ -499,6 +551,8 @@ LaneOracle::to_statset() const
     s.set("padding_lanes", counters_.padding_lanes);
     s.set("type3_weak_checks", counters_.type3_weak_checks);
     s.set("type3_weak_lanes", counters_.type3_weak_lanes);
+    s.set("armor_collision_checks", counters_.armor_collision_checks);
+    s.set("armor_collision_lanes", counters_.armor_collision_lanes);
     s.set("silent_checks", counters_.silent_checks);
     s.set("silent_squashed_lanes", counters_.silent_squashed_lanes);
     s.set("unknown_provenance_lanes",
@@ -526,6 +580,8 @@ LaneOracle::report() const
        << " padding=" << c.padding_lanes << "\n"
        << "  type3-weak: checks=" << c.type3_weak_checks
        << " lanes=" << c.type3_weak_lanes
+       << "  armor-collision: checks=" << c.armor_collision_checks
+       << " lanes=" << c.armor_collision_lanes
        << "  silent: checks=" << c.silent_checks
        << " lanes=" << c.silent_squashed_lanes << "\n";
     for (const Finding &f : findings_)

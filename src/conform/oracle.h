@@ -32,6 +32,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -95,6 +96,11 @@ struct ConformCounters
     std::uint64_t padding_lanes = 0;  //!< inside cover, outside truth
     std::uint64_t type3_weak_checks = 0; //!< Method B sized-ptr fallback
     std::uint64_t type3_weak_lanes = 0;  //!< truth-oob lanes it may miss
+    /** Armor's documented miss: the violating range fell inside a
+     *  same-kernel region sharing the pointer's masked tag. Counted
+     *  separately like the Type 3 padding cover — not a shield bug. */
+    std::uint64_t armor_collision_checks = 0;
+    std::uint64_t armor_collision_lanes = 0;
     std::uint64_t silent_checks = 0;  //!< §6.4 guard-replaced squashes
     std::uint64_t silent_squashed_lanes = 0;
     std::uint64_t unknown_provenance_lanes = 0; //!< address-resolved
@@ -141,6 +147,11 @@ class LaneOracle final : public LaneObserver
         std::vector<int> bt_region;    //!< ptr-arg order -> region
         int heap_region = -1;
         int num_regs = 0;
+        /** Which hardware point checked this kernel, and the regions the
+         *  driver installed for it — what weakness_label classifies
+         *  unflagged misses against. */
+        ShieldBackendKind backend = ShieldBackendKind::Region;
+        std::vector<ShieldRegionDesc> shield_regions;
     };
 
     /** Shadow provenance of one warp: region index per (lane, reg). */
@@ -153,8 +164,12 @@ class LaneOracle final : public LaneObserver
     int resolve_by_address(const KernelInfo &ki, VAddr addr) const;
     void note(Finding::Kind kind, const MemCheckEvent &ev, VAddr addr,
               const std::string &region);
+    /** Lazily-built default-config backend of @p kind, used purely for
+     *  weakness_label classification (never fed checks). */
+    ShieldBackend &classifier(ShieldBackendKind kind);
 
     Driver &driver_;
+    std::array<std::unique_ptr<ShieldBackend>, 2> classifiers_;
     std::unordered_map<KernelId, KernelInfo> kernels_;
     std::unordered_map<std::uint64_t, Shadow> shadows_;
 

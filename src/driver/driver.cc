@@ -187,6 +187,10 @@ Driver::tagged_arg_pointer(const LaunchState &state, const VaRegion &region,
         return make_unprotected_ptr(region.base);
     if (type == PtrTypeRec::SizedWindow)
         return make_sized_ptr(region.base, log2_floor(region.reserved));
+    // Armor pointers carry the plaintext tag fold — no per-kernel
+    // cipher exists in that hardware point.
+    if (state.shield_backend == ShieldBackendKind::Armor)
+        return make_tagged_ptr(region.base, armor_ptr_tag(id));
     IdCipher cipher(state.secret_key);
     return make_tagged_ptr(region.base, cipher.encrypt(id));
 }
@@ -206,6 +210,7 @@ Driver::launch(const LaunchConfig &cfg)
     state.nctaid = cfg.nctaid;
     state.program = *cfg.program; // patched copy
     state.shield_enabled = cfg.shield_enabled;
+    state.shield_backend = backend_;
 
     const KernelProgram &prog = state.program;
 
@@ -344,6 +349,7 @@ Driver::launch(const LaunchConfig &cfg)
             arg_in_merged_group[ptr_args[k]] = end - g > 1;
         }
         state.rbt->set(id, merged);
+        state.shield_regions.push_back({id, armor_ptr_tag(id), merged});
         g = end;
     }
 
@@ -399,6 +405,12 @@ Driver::launch(const LaunchConfig &cfg)
             if (type == PtrTypeRec::SizedWindow &&
                 (!buffer_pow2_[handle.index] || arg_in_merged_group[a]))
                 type = PtrTypeRec::TaggedId;
+            // Armor has no power-of-two window checker: a sized pointer
+            // would go entirely unchecked there, so demote it to a
+            // tagged pointer the metadata table covers.
+            if (backend_ == ShieldBackendKind::Armor &&
+                type == PtrTypeRec::SizedWindow)
+                type = PtrTypeRec::TaggedId;
             // Multi-tenant hardening: tenants share one VA space, and
             // neither Type 1 (raw address) nor Type 3 (window check,
             // no ownership) pointers carry the per-kernel cipher — a
@@ -449,11 +461,13 @@ Driver::launch(const LaunchConfig &cfg)
         bounds.valid = true;
         bounds.kernel = state.kernel_id;
         state.rbt->set(id, bounds);
+        state.shield_regions.push_back({id, armor_ptr_tag(id), bounds});
 
         state.local_bases[l] =
-            cfg.shield_enabled
-                ? make_tagged_ptr(r.base, cipher.encrypt(id))
-                : make_unprotected_ptr(r.base);
+            !cfg.shield_enabled ? make_unprotected_ptr(r.base)
+            : backend_ == ShieldBackendKind::Armor
+                ? make_tagged_ptr(r.base, armor_ptr_tag(id))
+                : make_tagged_ptr(r.base, cipher.encrypt(id));
     }
 
     // Heap: one coarse entry covering the whole preset heap (§5.2.1).
@@ -475,11 +489,13 @@ Driver::launch(const LaunchConfig &cfg)
         bounds.valid = true;
         bounds.kernel = state.kernel_id;
         state.rbt->set(id, bounds);
+        state.shield_regions.push_back({id, armor_ptr_tag(id), bounds});
 
         state.heap_base_tagged =
-            cfg.shield_enabled
-                ? make_tagged_ptr(r.base, cipher.encrypt(id))
-                : make_unprotected_ptr(r.base);
+            !cfg.shield_enabled ? make_unprotected_ptr(r.base)
+            : backend_ == ShieldBackendKind::Armor
+                ? make_tagged_ptr(r.base, armor_ptr_tag(id))
+                : make_tagged_ptr(r.base, cipher.encrypt(id));
     }
     } catch (...) {
         for (const BufferId id : assigned)

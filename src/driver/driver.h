@@ -34,6 +34,7 @@
 #include "isa/ir.h"
 #include "mem/page_table.h"
 #include "mem/physical_memory.h"
+#include "shield/backend.h"
 #include "shield/rbt.h"
 
 namespace gpushield {
@@ -132,6 +133,16 @@ struct LaunchState
 
     bool shield_enabled = true;
 
+    /** Which shield hardware this launch's pointers were signed for;
+     *  the cores route register/check calls to that backend. */
+    ShieldBackendKind shield_backend = ShieldBackendKind::Region;
+
+    /** Every protected region the driver installed (args, merged
+     *  groups, locals, heap): namespace slot, Armor tag, exact bounds.
+     *  Armor backends build their metadata tables from this; the
+     *  conformance oracle reads it for either backend. */
+    std::vector<ShieldRegionDesc> shield_regions;
+
     /** §6.3 fallback engaged: adjacent buffers share merged entries. */
     bool ids_merged = false;
 
@@ -218,6 +229,17 @@ class Driver
 
     GpuDevice &device() { return dev_; }
 
+    /**
+     * Selects which shield backend subsequent launches target. Region
+     * (default) signs pointers with the per-kernel cipher; Armor signs
+     * them with the plaintext `armor_ptr_tag` fold and never emits
+     * Type 3 sized pointers (no power-of-two window check in that
+     * hardware). Takes effect at the next launch(); in-flight kernels
+     * keep the backend they were launched with.
+     */
+    void set_shield_backend(ShieldBackendKind kind) { backend_ = kind; }
+    ShieldBackendKind shield_backend() const { return backend_; }
+
     /** The ID partition this driver draws from. */
     const DriverPartition &partition() const { return part_; }
 
@@ -238,6 +260,7 @@ class Driver
     GpuDevice &dev_;
     Rng rng_;
     DriverPartition part_;
+    ShieldBackendKind backend_ = ShieldBackendKind::Region;
     std::vector<VaRegion> buffers_;
     std::vector<bool> buffer_pow2_;
     std::unordered_set<std::uint16_t> used_ids_;

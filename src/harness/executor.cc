@@ -166,6 +166,7 @@ run_cell(const SweepSpec &spec, std::size_t index, bool profile,
         const GpuConfig &cfg = spec.config(cell.config);
         GpuDevice dev(cfg.mem.page_size);
         Driver driver(dev, r.seed);
+        driver.set_shield_backend(cfg.shield.backend);
         obs::Profiler prof;
         obs::Profiler *p = profile ? &prof : nullptr;
         // The oracle only has verdicts to second-guess on shield cells,

@@ -7,15 +7,15 @@ namespace gpushield::harness {
 GpuConfig
 with_rcache_latency(GpuConfig base, Cycle l1, Cycle l2)
 {
-    base.rcache.l1_latency = l1;
-    base.rcache.l2_latency = l2;
+    base.shield.region.l1_latency = l1;
+    base.shield.region.l2_latency = l2;
     return base;
 }
 
 GpuConfig
 with_l1_entries(GpuConfig base, unsigned entries)
 {
-    base.rcache.l1_entries = entries;
+    base.shield.region.l1_entries = entries;
     return base;
 }
 

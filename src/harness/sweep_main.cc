@@ -14,9 +14,10 @@
 #include <iostream>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "harness/executor.h"
 #include "harness/suites.h"
-#include "common/thread_pool.h"
+#include "shield/config.h"
 
 namespace {
 
@@ -32,6 +33,10 @@ usage(const char *argv0)
                  "  --sim-threads N  parallel-SM engine workers inside\n"
                  "                 each simulated GPU (default: 1);\n"
                  "                 records are byte-identical to serial\n"
+                 "  --shield-backend NAME  bounds-check hardware point for\n"
+                 "                 every config in the suite: 'region'\n"
+                 "                 (default; BCU+RBT+RCache) or 'armor'\n"
+                 "                 (tagged-pointer metadata table)\n"
                  "  --jsonl PATH   write JSON Lines records ('-' = stdout)\n"
                  "  --csv PATH     write CSV records ('-' = stdout)\n"
                  "  --profile      attach the stall-attribution profiler\n"
@@ -72,6 +77,8 @@ main(int argc, char **argv)
     std::string suite_name, jsonl_path, csv_path;
     unsigned jobs = ThreadPool::hardware_jobs();
     unsigned sim_threads = 1;
+    gpushield::ShieldBackendKind backend =
+        gpushield::ShieldBackendKind::Region;
     bool quiet = false, list = false, profile = false, conform = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -91,6 +98,15 @@ main(int argc, char **argv)
         else if (arg == "--sim-threads")
             sim_threads =
                 static_cast<unsigned>(std::strtoul(value(), nullptr, 10));
+        else if (arg == "--shield-backend") {
+            const char *name = value();
+            if (!gpushield::parse_shield_backend(name, backend)) {
+                std::fprintf(stderr,
+                             "gpushield-sweep: unknown shield backend "
+                             "%s (region|armor)\n", name);
+                return 2;
+            }
+        }
         else if (arg == "--jsonl")
             jsonl_path = value();
         else if (arg == "--csv")
@@ -123,8 +139,10 @@ main(int argc, char **argv)
     }
 
     SweepSpec spec = suite->make();
-    for (auto &[cfg_name, cfg] : spec.configs)
+    for (auto &[cfg_name, cfg] : spec.configs) {
         cfg.sim_threads = sim_threads == 0 ? 1 : sim_threads;
+        cfg.shield.backend = backend;
+    }
     SweepOptions opts;
     opts.jobs = jobs == 0 ? 1 : jobs;
     opts.progress = quiet ? nullptr : &std::cerr;

@@ -42,6 +42,8 @@ usage(const char *argv0)
            "  --sim-threads N    parallel-SM engine workers inside the\n"
            "                     simulated GPU (default 1); results are\n"
            "                     byte-identical to serial\n"
+           "  --backend NAME     shield backend every tenant runs:\n"
+           "                     region (default) or armor\n"
            "  --json FILE        fairness: write the JSON report here\n"
            "  --quick            shrink workloads (CI smoke)\n"
            "  --quiet            suppress per-item output\n";
@@ -179,6 +181,13 @@ main(int argc, char **argv)
                 static_cast<unsigned>(std::stoul(next()));
             if (cfg.gpu.sim_threads == 0)
                 cfg.gpu.sim_threads = 1;
+        } else if (a == "--backend") {
+            const char *name = next();
+            if (!parse_shield_backend(name, cfg.gpu.shield.backend)) {
+                std::cerr << "unknown shield backend " << name
+                          << " (region|armor)\n";
+                return 2;
+            }
         } else if (a == "--json") {
             json_path = next();
         } else if (a == "--quick") {

@@ -1,0 +1,31 @@
+#include "shield/backend.h"
+
+#include "common/log.h"
+#include "shield/armor_backend.h"
+#include "shield/region_backend.h"
+
+namespace gpushield {
+
+std::unique_ptr<ShieldBackend>
+make_shield_backend(ShieldBackendKind kind, const ShieldConfig &cfg,
+                    Cycle pipeline_slack)
+{
+    switch (kind) {
+      case ShieldBackendKind::Region:
+        return std::make_unique<RegionShieldBackend>(
+            to_rcache_config(cfg.region), pipeline_slack);
+      case ShieldBackendKind::Armor:
+        return std::make_unique<ArmorShieldBackend>(cfg.armor,
+                                                    pipeline_slack);
+    }
+    panic("make_shield_backend: unknown backend kind");
+    return nullptr;
+}
+
+std::unique_ptr<ShieldBackend>
+make_shield_backend(const ShieldConfig &cfg, Cycle pipeline_slack)
+{
+    return make_shield_backend(cfg.backend, cfg, pipeline_slack);
+}
+
+} // namespace gpushield

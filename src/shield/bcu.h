@@ -1,189 +1,20 @@
 /**
  * @file
- * Bounds-Checking Unit (§5.5).
- *
- * The BCU sits beside each core's LSU. For every memory instruction it
- * receives the tagged pointer, the warp's coalesced address range
- * (min/max across active lanes — the paper's workgroup/warp-level
- * checking), and enough LSU context to decide whether the check latency
- * is exposed as a pipeline bubble (Fig. 12).
- *
- * Type 2 pointers: the embedded ID is decrypted with the per-kernel key
- * and looked up in the RCache hierarchy; an L2 RCache miss triggers an
- * RBT refill (physically addressed, bypassing translation). Type 3
- * pointers carry log2(window) and are checked against base+offset
- * operands with no RCache access. Type 1 pointers skip checking.
- *
- * Timing model: the check completes `rcache_latency` cycles after AGEN.
- * The LSU pipeline shadows `pipeline_slack` cycles for a D-cache hit
- * plus one cycle per additional coalesced transaction; anything beyond
- * that is an exposed stall. With the default 1-cycle L1 RCache this
- * reproduces the paper's "one bubble only on single-transaction D-cache
- * hit with L1 RCache miss" behaviour.
+ * Compatibility header: the Bounds-Checking Unit now lives behind the
+ * pluggable shield-backend seam as `RegionShieldBackend`
+ * (shield/region_backend.h); `BoundsCheckUnit` remains as an alias for
+ * existing tests/benches. The shared request/response/violation types
+ * moved to shield/backend.h. New code should use `ShieldBackend`.
  */
 
 #ifndef GPUSHIELD_SHIELD_BCU_H
 #define GPUSHIELD_SHIELD_BCU_H
 
-#include <cstdint>
-#include <unordered_map>
-#include <vector>
-
-#include "common/stats.h"
-#include "common/types.h"
-#include "shield/cipher.h"
-#include "shield/rbt.h"
-#include "shield/rcache.h"
-
-namespace gpushield::obs {
-class Profiler;
-}
+#include "shield/region_backend.h"
 
 namespace gpushield {
 
-/** Classification of a detected memory-safety violation. */
-enum class ViolationKind : std::uint8_t {
-    OutOfBounds,   //!< address range escapes the buffer region
-    ReadOnlyWrite, //!< store to a read-only buffer
-    InvalidEntry,  //!< decrypted ID hit an invalid RBT entry (forged ptr)
-    KernelMismatch //!< entry belongs to another kernel
-};
-
-/** One logged violation (error-logging mode of §5.5.2). */
-struct Violation
-{
-    KernelId kernel = 0;
-    /** Tenant that issued the faulting access (service mode; 0 =
-     *  single-tenant). Makes cross-tenant attacks attributable. */
-    TenantId tenant = 0;
-    CoreId core = 0;
-    int pc = -1;
-    WarpId warp = 0;
-    bool is_store = false;
-    VAddr min_addr = 0;
-    VAddr max_end = 0;
-    ViolationKind kind = ViolationKind::OutOfBounds;
-};
-
-/** Everything the LSU hands the BCU for one memory instruction. */
-struct BcuRequest
-{
-    KernelId kernel = 0;
-    TenantId tenant = 0;
-    CoreId core = 0;
-    WarpId warp = 0;
-    int pc = -1;
-
-    std::uint64_t pointer = 0; //!< tagged address-register value
-    VAddr min_addr = 0;        //!< lowest byte touched by the warp
-    VAddr max_end = 0;         //!< one past the highest byte touched
-    bool is_store = false;
-
-    unsigned num_transactions = 1; //!< coalesced transaction count
-    bool dcache_hit = false;       //!< first transaction L1 D-cache hit
-
-    /** Base+offset (Method C / Type 3) operands, when the instruction
-     *  uses that addressing mode. Offsets are relative to the base. */
-    bool has_base_offset = false;
-    std::int64_t min_offset = 0;
-    std::int64_t max_offset_end = 0; //!< one past the highest offset byte
-
-    /** Method A (binding table): the driver-managed BT entry supplies
-     *  exact bounds, so the check is direct — no decrypt, no RCache. */
-    bool has_bt_bounds = false;
-    Bounds bt_bounds;
-
-    /**
-     * §6.4 guard replacement: the compiler removed a redundant software
-     * guard because GPUShield subsumes it. Violations through this
-     * instruction are the *expected* squashes of the formerly-guarded
-     * lanes — suppress without logging (counted separately).
-     */
-    bool silent = false;
-};
-
-/** BCU verdict and timing for one memory instruction. */
-struct BcuResponse
-{
-    bool checked = false;   //!< a runtime check was performed
-    bool violation = false;
-    ViolationKind kind = ViolationKind::OutOfBounds;
-    Cycle stall_cycles = 0; //!< exposed pipeline bubble at issue
-    bool refill = false;    //!< RBT refill traffic required (L2 RCache miss)
-    PAddr refill_paddr = 0; //!< RBT entry address for the refill
-
-    /**
-     * Valid region for lane-granular squashing: detection happens at
-     * warp granularity (min/max), but the store pipeline knows each
-     * lane's address, so only lanes outside [region_base, region_end)
-     * are dropped / zero-filled. Unset when no region applies (invalid
-     * entry, kernel mismatch, read-only write): then every lane
-     * squashes.
-     */
-    bool region_known = false;
-    VAddr region_base = 0;
-    VAddr region_end = 0;
-};
-
-/** Per-core bounds-checking unit. */
-class BoundsCheckUnit
-{
-  public:
-    /**
-     * @param cfg            RCache geometry/latencies
-     * @param pipeline_slack LSU cycles that shadow the check on a D-cache
-     *                       hit (paper: check hides unless it exceeds the
-     *                       LSU pipe; 2 reproduces Fig. 12)
-     */
-    explicit BoundsCheckUnit(const RCacheConfig &cfg,
-                             Cycle pipeline_slack = 2);
-
-    /** Registers a kernel resident on this core (key + its RBT). */
-    void register_kernel(KernelId kernel, std::uint64_t key,
-                         const RegionBoundsTable *rbt);
-
-    /** Removes a kernel and invalidates its RCache entries (kernel
-     *  termination; co-resident kernels keep theirs, §6.2). */
-    void deregister_kernel(KernelId kernel);
-
-    /** Performs the bounds check for one memory instruction. */
-    BcuResponse check(const BcuRequest &req);
-
-    /** Violations logged so far (error-logging mode). */
-    const std::vector<Violation> &violations() const { return violations_; }
-
-    /** Clears the violation log (read out by the host at kernel end). */
-    void clear_violations() { violations_.clear(); }
-
-    /** Attaches a stall-attribution profiler (propagated to the
-     *  RCache); nullptr detaches. */
-    void set_profiler(obs::Profiler *prof);
-
-    RCache &rcache() { return rcache_; }
-    const RCache &rcache() const { return rcache_; }
-    const StatSet &stats() const { return stats_; }
-
-  private:
-    struct KernelState
-    {
-        IdCipher cipher;
-        const RegionBoundsTable *rbt = nullptr;
-    };
-
-    void log(const BcuRequest &req, ViolationKind kind);
-    Cycle exposed_stall(const BcuRequest &req, Cycle check_latency) const;
-
-    RCache rcache_;
-    obs::Profiler *prof_ = nullptr;
-    Cycle pipeline_slack_;
-    std::unordered_map<KernelId, KernelState> kernels_;
-    std::vector<Violation> violations_;
-    StatSet stats_;
-    // Interned per-check counters (resolved once; bumped per event).
-    StatSet::Counter c_checks_, c_bt_checks_, c_type2_checks_,
-        c_type3_checks_, c_skipped_unprotected_, c_guard_suppressed_,
-        c_violations_, c_stall_cycles_;
-};
+using BoundsCheckUnit = RegionShieldBackend;
 
 } // namespace gpushield
 

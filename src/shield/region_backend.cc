@@ -1,4 +1,4 @@
-#include "shield/bcu.h"
+#include "shield/region_backend.h"
 
 #include <algorithm>
 
@@ -9,7 +9,20 @@
 
 namespace gpushield {
 
-BoundsCheckUnit::BoundsCheckUnit(const RCacheConfig &cfg, Cycle pipeline_slack)
+RCacheConfig
+to_rcache_config(const RegionShieldConfig &cfg)
+{
+    RCacheConfig rc;
+    rc.l1_entries = cfg.l1_entries;
+    rc.l2_entries = cfg.l2_entries;
+    rc.l1_latency = cfg.l1_latency;
+    rc.l2_latency = cfg.l2_latency;
+    rc.partitions = cfg.partitions;
+    return rc;
+}
+
+RegionShieldBackend::RegionShieldBackend(const RCacheConfig &cfg,
+                                         Cycle pipeline_slack)
     : rcache_(cfg), pipeline_slack_(pipeline_slack),
       c_checks_(stats_.counter("checks")),
       c_bt_checks_(stats_.counter("bt_checks")),
@@ -23,15 +36,15 @@ BoundsCheckUnit::BoundsCheckUnit(const RCacheConfig &cfg, Cycle pipeline_slack)
 }
 
 void
-BoundsCheckUnit::set_profiler(obs::Profiler *prof)
+RegionShieldBackend::set_profiler(obs::Profiler *prof)
 {
     prof_ = prof;
     rcache_.set_profiler(prof);
 }
 
 void
-BoundsCheckUnit::register_kernel(KernelId kernel, std::uint64_t key,
-                                 const RegionBoundsTable *rbt)
+RegionShieldBackend::register_kernel(KernelId kernel, std::uint64_t key,
+                                     const RegionBoundsTable *rbt)
 {
     KernelState state;
     state.cipher.rekey(key);
@@ -40,7 +53,7 @@ BoundsCheckUnit::register_kernel(KernelId kernel, std::uint64_t key,
 }
 
 void
-BoundsCheckUnit::deregister_kernel(KernelId kernel)
+RegionShieldBackend::deregister_kernel(KernelId kernel)
 {
     kernels_.erase(kernel);
     // §5.5: only the terminating kernel's RCache state is dropped;
@@ -49,7 +62,7 @@ BoundsCheckUnit::deregister_kernel(KernelId kernel)
 }
 
 void
-BoundsCheckUnit::log(const BcuRequest &req, ViolationKind kind)
+RegionShieldBackend::log(const BcuRequest &req, ViolationKind kind)
 {
     if (req.silent) {
         // §6.4 guard replacement: the squash is expected behaviour of
@@ -72,8 +85,8 @@ BoundsCheckUnit::log(const BcuRequest &req, ViolationKind kind)
 }
 
 Cycle
-BoundsCheckUnit::exposed_stall(const BcuRequest &req,
-                               Cycle check_latency) const
+RegionShieldBackend::exposed_stall(const BcuRequest &req,
+                                   Cycle check_latency) const
 {
     // The LSU pipeline shadows the check: a D-cache hit exposes only
     // what exceeds the remaining pipeline depth; each extra coalesced
@@ -89,7 +102,7 @@ BoundsCheckUnit::exposed_stall(const BcuRequest &req,
 }
 
 BcuResponse
-BoundsCheckUnit::check(const BcuRequest &req)
+RegionShieldBackend::check(const BcuRequest &req)
 {
     BcuResponse resp;
 
@@ -219,6 +232,19 @@ BoundsCheckUnit::check(const BcuRequest &req)
     if (prof_ != nullptr)
         prof_->on_bcu_check(resp.stall_cycles, resp.violation);
     return resp;
+}
+
+const char *
+RegionShieldBackend::weakness_label(const ShieldMissContext &ctx) const
+{
+    // The only checked-but-unflagged class this backend documents:
+    // Method-B dereferences of a Type 3 (sized-window) pointer only
+    // detect window-boundary crossings, so an overflow that lands in a
+    // same-window sibling position escapes (CONFORMANCE.md).
+    if (!ctx.has_bt && !ctx.has_base_offset &&
+        ptr_class(ctx.pointer) == PtrClass::SizedWindow)
+        return "type3_weak";
+    return nullptr;
 }
 
 } // namespace gpushield

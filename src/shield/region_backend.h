@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Region shield backend: the paper's Bounds-Checking Unit (§5.5).
+ *
+ * The BCU sits beside each core's LSU. For every memory instruction it
+ * receives the tagged pointer, the warp's coalesced address range
+ * (min/max across active lanes — the paper's workgroup/warp-level
+ * checking), and enough LSU context to decide whether the check latency
+ * is exposed as a pipeline bubble (Fig. 12).
+ *
+ * Type 2 pointers: the embedded ID is decrypted with the per-kernel key
+ * and looked up in the RCache hierarchy; an L2 RCache miss triggers an
+ * RBT refill (physically addressed, bypassing translation). Type 3
+ * pointers carry log2(window) and are checked against base+offset
+ * operands with no RCache access. Type 1 pointers skip checking.
+ *
+ * Timing model: the check completes `rcache_latency` cycles after AGEN.
+ * The LSU pipeline shadows `pipeline_slack` cycles for a D-cache hit
+ * plus one cycle per additional coalesced transaction; anything beyond
+ * that is an exposed stall. With the default 1-cycle L1 RCache this
+ * reproduces the paper's "one bubble only on single-transaction D-cache
+ * hit with L1 RCache miss" behaviour.
+ */
+
+#ifndef GPUSHIELD_SHIELD_REGION_BACKEND_H
+#define GPUSHIELD_SHIELD_REGION_BACKEND_H
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "shield/backend.h"
+#include "shield/cipher.h"
+#include "shield/rbt.h"
+#include "shield/rcache.h"
+
+namespace gpushield {
+
+/** Per-core bounds-checking unit (region backend). */
+class RegionShieldBackend : public ShieldBackend
+{
+  public:
+    /**
+     * @param cfg            RCache geometry/latencies
+     * @param pipeline_slack LSU cycles that shadow the check on a D-cache
+     *                       hit (paper: check hides unless it exceeds the
+     *                       LSU pipe; 2 reproduces Fig. 12)
+     */
+    explicit RegionShieldBackend(const RCacheConfig &cfg,
+                                 Cycle pipeline_slack = 2);
+
+    ShieldBackendKind kind() const override
+    {
+        return ShieldBackendKind::Region;
+    }
+    const char *name() const override { return "region"; }
+
+    void register_kernel(const ShieldKernelDesc &desc) override
+    {
+        register_kernel(desc.kernel, desc.secret_key, desc.rbt);
+    }
+
+    /** Registers a kernel resident on this core (key + its RBT). */
+    void register_kernel(KernelId kernel, std::uint64_t key,
+                         const RegionBoundsTable *rbt);
+
+    /** Removes a kernel and invalidates its RCache entries (kernel
+     *  termination; co-resident kernels keep theirs, §6.2). */
+    void deregister_kernel(KernelId kernel) override;
+
+    /** Performs the bounds check for one memory instruction. */
+    BcuResponse check(const BcuRequest &req) override;
+
+    /** Violations logged so far (error-logging mode). */
+    const std::vector<Violation> &violations() const override
+    {
+        return violations_;
+    }
+
+    /** Clears the violation log (read out by the host at kernel end). */
+    void clear_violations() override { violations_.clear(); }
+
+    /** Attaches a stall-attribution profiler (propagated to the
+     *  RCache); nullptr detaches. */
+    void set_profiler(obs::Profiler *prof) override;
+
+    RCache &rcache() { return rcache_; }
+    const RCache &rcache() const { return rcache_; }
+    const StatSet &stats() const override { return stats_; }
+    StatSet metadata_stats() const override { return rcache_.stats(); }
+
+    const char *
+    weakness_label(const ShieldMissContext &ctx) const override;
+
+  private:
+    struct KernelState
+    {
+        IdCipher cipher;
+        const RegionBoundsTable *rbt = nullptr;
+    };
+
+    void log(const BcuRequest &req, ViolationKind kind);
+    Cycle exposed_stall(const BcuRequest &req, Cycle check_latency) const;
+
+    RCache rcache_;
+    obs::Profiler *prof_ = nullptr;
+    Cycle pipeline_slack_;
+    std::unordered_map<KernelId, KernelState> kernels_;
+    std::vector<Violation> violations_;
+    StatSet stats_;
+    // Interned per-check counters (resolved once; bumped per event).
+    StatSet::Counter c_checks_, c_bt_checks_, c_type2_checks_,
+        c_type3_checks_, c_skipped_unprotected_, c_guard_suppressed_,
+        c_violations_, c_stall_cycles_;
+};
+
+/** RegionShieldConfig (sim-facing knobs) → RCacheConfig (hardware). */
+RCacheConfig to_rcache_config(const RegionShieldConfig &cfg);
+
+} // namespace gpushield
+
+#endif // GPUSHIELD_SHIELD_REGION_BACKEND_H

@@ -29,10 +29,10 @@ nvidia_config()
     cfg.mem.dram.channels = 16;
     cfg.mem.dram.row_bytes = 2048;
 
-    cfg.rcache.l1_entries = 4;
-    cfg.rcache.l2_entries = 64;
-    cfg.rcache.l1_latency = 1;
-    cfg.rcache.l2_latency = 3;
+    cfg.shield.region.l1_entries = 4;
+    cfg.shield.region.l2_entries = 64;
+    cfg.shield.region.l1_latency = 1;
+    cfg.shield.region.l2_latency = 3;
     return cfg;
 }
 
@@ -63,10 +63,10 @@ intel_config()
     cfg.mem.dram.channels = 16;
     cfg.mem.dram.row_bytes = 2048;
 
-    cfg.rcache.l1_entries = 4;
-    cfg.rcache.l2_entries = 64;
-    cfg.rcache.l1_latency = 1;
-    cfg.rcache.l2_latency = 3;
+    cfg.shield.region.l1_entries = 4;
+    cfg.shield.region.l2_entries = 64;
+    cfg.shield.region.l1_latency = 1;
+    cfg.shield.region.l2_latency = 3;
     return cfg;
 }
 

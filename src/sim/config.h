@@ -11,7 +11,7 @@
 
 #include "common/types.h"
 #include "mem/hierarchy.h"
-#include "shield/rcache.h"
+#include "shield/config.h"
 
 namespace gpushield {
 
@@ -42,7 +42,10 @@ struct GpuConfig
     bool precise_exceptions = false;
 
     MemHierConfig mem;
-    RCacheConfig rcache;
+    /** Bounds-checking hardware: backend selection + per-backend knobs
+     *  (shield/config.h). `shield.region` carries the historic RCache
+     *  fields. */
+    ShieldConfig shield;
 
     /** Abort the simulation if a kernel exceeds this many cycles. */
     Cycle max_cycles = 400'000'000;

@@ -13,12 +13,28 @@ namespace gpushield {
 Core::Core(CoreId id, const GpuConfig &cfg, EventQueue &eq,
            MemoryHierarchy &hier)
     : id_(id), cfg_(cfg), eq_(eq), hier_(hier),
-      bcu_(cfg.rcache, cfg.lsu_pipeline_slack),
+      shield_(make_shield_backend(cfg.shield, cfg.lsu_pipeline_slack)),
       slots_(cfg.max_workgroups_per_core),
       c_issued_(stats_.counter("issued")),
       c_workgroups_started_(stats_.counter("workgroups_started")),
       c_workgroups_finished_(stats_.counter("workgroups_finished"))
 {
+}
+
+ShieldBackend &
+Core::backend_for(ShieldBackendKind kind)
+{
+    if (kind == shield_->kind())
+        return *shield_;
+    // A resident kernel was signed for the other backend (mixed-backend
+    // co-scheduling): instantiate it on first use so single-backend
+    // runs never create — or aggregate stats from — a second unit.
+    if (alt_shield_ == nullptr) {
+        alt_shield_ =
+            make_shield_backend(kind, cfg_.shield, cfg_.lsu_pipeline_slack);
+        alt_shield_->set_profiler(profiler_);
+    }
+    return *alt_shield_;
 }
 
 void
@@ -28,9 +44,12 @@ Core::attach_kernel(KernelExec *kernel)
     resident_.push_back(kernel);
     shards_.push_back(std::make_unique<KernelShard>(kernel));
     if (kernel->launch->shield_enabled) {
-        bcu_.register_kernel(kernel->launch->kernel_id,
-                             kernel->launch->secret_key,
-                             kernel->launch->rbt.get());
+        ShieldKernelDesc desc;
+        desc.kernel = kernel->launch->kernel_id;
+        desc.secret_key = kernel->launch->secret_key;
+        desc.rbt = kernel->launch->rbt.get();
+        desc.regions = &kernel->launch->shield_regions;
+        backend_for(kernel->launch->shield_backend).register_kernel(desc);
     }
 }
 
@@ -48,7 +67,8 @@ Core::detach_kernel(KernelExec *kernel)
         }
     }
     if (kernel->launch->shield_enabled)
-        bcu_.deregister_kernel(kernel->launch->kernel_id);
+        backend_for(kernel->launch->shield_backend)
+            .deregister_kernel(kernel->launch->kernel_id);
     // Kill any still-live workgroups (kernel aborts).
     for (std::size_t s = 0; s < slots_.size(); ++s) {
         WorkgroupCtx &wg = slots_[s];
@@ -229,7 +249,9 @@ void
 Core::set_profiler(obs::Profiler *profiler)
 {
     profiler_ = profiler;
-    bcu_.set_profiler(profiler);
+    shield_->set_profiler(profiler);
+    if (alt_shield_ != nullptr)
+        alt_shield_->set_profiler(profiler);
 }
 
 void
@@ -589,7 +611,8 @@ Core::handle_mem(WorkgroupCtx &wg, WarpState &warp, const MemOp &op)
         req.bt_bounds = op.bt_bounds;
         req.silent = op.instr->check == CheckMode::GuardReplaced;
 
-        const BcuResponse resp = bcu_.check(req);
+        const BcuResponse resp =
+            backend_for(launch.shield_backend).check(req);
         ++hot.checks;
         if (resp.stall_cycles > 0) {
             // Exposed pipeline bubble: the LSU (and issue stage behind

@@ -40,7 +40,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "mem/hierarchy.h"
-#include "shield/bcu.h"
+#include "shield/backend.h"
 #include "sim/config.h"
 #include "sim/interp.h"
 #include "sim/observer.h"
@@ -173,8 +173,15 @@ class Core
     /** True when no workgroups are resident. */
     bool idle() const { return live_workgroups_ == 0; }
 
-    BoundsCheckUnit &bcu() { return bcu_; }
-    const BoundsCheckUnit &bcu() const { return bcu_; }
+    /** The core's primary shield backend (the configured kind). */
+    ShieldBackend &shield() { return *shield_; }
+    const ShieldBackend &shield() const { return *shield_; }
+
+    /** Secondary backend, created lazily when a resident kernel was
+     *  signed for the other kind (mixed-backend co-scheduling); null
+     *  until then — single-backend runs never pay for it. */
+    const ShieldBackend *alt_shield() const { return alt_shield_.get(); }
+
     const StatSet &stats() const { return stats_; }
     CoreId id() const { return id_; }
 
@@ -261,6 +268,9 @@ class Core
     };
 
     bool try_dispatch();
+    /** Backend that checks @p kind kernels on this core; creates the
+     *  secondary backend on first use. */
+    ShieldBackend &backend_for(ShieldBackendKind kind);
     /** Lowers the ready hint: some warp may issue at cycle @p c. */
     void note_ready(Cycle c);
     /** Recomputes the ready hint exactly from current warp states. */
@@ -293,7 +303,8 @@ class Core
     const GpuConfig &cfg_;
     EventQueue &eq_;
     MemoryHierarchy &hier_;
-    BoundsCheckUnit bcu_;
+    std::unique_ptr<ShieldBackend> shield_;
+    std::unique_ptr<ShieldBackend> alt_shield_;
 
     std::vector<KernelExec *> resident_;
     std::vector<std::unique_ptr<KernelShard>> shards_;

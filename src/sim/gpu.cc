@@ -287,10 +287,15 @@ Gpu::result(std::size_t index) const
     r.end_cycle = l.exec->end_cycle;
     r.aborted = l.exec->aborted;
     r.stats = l.exec->stats;
-    for (const auto &core : cores_)
-        for (const Violation &v : core->bcu().violations())
+    for (const auto &core : cores_) {
+        for (const Violation &v : core->shield().violations())
             if (v.kernel == l.state->kernel_id)
                 r.violations.push_back(v);
+        if (const ShieldBackend *alt = core->alt_shield())
+            for (const Violation &v : alt->violations())
+                if (v.kernel == l.state->kernel_id)
+                    r.violations.push_back(v);
+    }
     return r;
 }
 
@@ -306,8 +311,11 @@ StatSet
 Gpu::rcache_stats() const
 {
     StatSet agg;
-    for (const auto &core : cores_)
-        agg.merge(core->bcu().rcache().stats());
+    for (const auto &core : cores_) {
+        agg.merge(core->shield().metadata_stats());
+        if (const ShieldBackend *alt = core->alt_shield())
+            agg.merge(alt->metadata_stats());
+    }
     return agg;
 }
 
@@ -315,8 +323,11 @@ StatSet
 Gpu::bcu_stats() const
 {
     StatSet agg;
-    for (const auto &core : cores_)
-        agg.merge(core->bcu().stats());
+    for (const auto &core : cores_) {
+        agg.merge(core->shield().stats());
+        if (const ShieldBackend *alt = core->alt_shield())
+            agg.merge(alt->stats());
+    }
     return agg;
 }
 

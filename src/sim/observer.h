@@ -14,7 +14,7 @@
 
 #include "common/types.h"
 #include "isa/ir.h"
-#include "shield/bcu.h"
+#include "shield/backend.h"
 #include "sim/interp.h"
 #include "sim/warp.h"
 

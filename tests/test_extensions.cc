@@ -131,8 +131,8 @@ TEST(RCachePartitioning, IntraCorePairKeepsHitRate)
     auto run_pair = [](unsigned partitions) {
         GpuConfig cfg = intel_config();
         cfg.num_cores = 4;
-        cfg.rcache.l1_entries = 2; // small enough to contend
-        cfg.rcache.partitions = partitions;
+        cfg.shield.region.l1_entries = 2; // small enough to contend
+        cfg.shield.region.partitions = partitions;
 
         GpuDevice dev(cfg.mem.page_size);
         Driver driver(dev);
